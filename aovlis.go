@@ -1,0 +1,408 @@
+// Package aovlis is an open reproduction of "Online Anomaly Detection over
+// Live Social Video Streaming" (ICDE 2024): a framework that detects
+// anomalies in live social video streams by jointly modelling the
+// presenter's visual behaviour and the audience's real-time interaction
+// with a Coupling LSTM (CLSTM), scoring segments with the fused
+// reconstruction error REIA, filtering candidates with ADG/L1 bounds under
+// the adaptive ADOS strategy, and maintaining the model incrementally as
+// the stream drifts.
+//
+// The top-level API is the Detector: train it on a normal (anomaly-free)
+// feature series, then feed it the stream's per-segment features — it
+// reports an anomaly decision per segment in O(segment) time:
+//
+//	cfg := aovlis.DefaultConfig(d1, d2)
+//	det, err := aovlis.Train(normalActions, normalAudience, cfg)
+//	...
+//	res, err := det.Observe(actionFeat, audienceFeat)
+//	if res.Anomaly { ... }
+//
+// Feature extraction from raw segments (I3D-style action features and the
+// comment-count/embedding/sentiment audience features) lives in
+// internal/feature and is exercised end to end by the bundled examples and
+// the cmd/ tools; the Detector itself is feature-agnostic and consumes any
+// aligned pair of feature series.
+package aovlis
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"math/rand"
+
+	"aovlis/internal/ados"
+	"aovlis/internal/core"
+	"aovlis/internal/update"
+)
+
+// Config assembles the paper's knobs in one place.
+type Config struct {
+	// ActionDim (d1) and AudienceDim (d2) are the feature dimensions.
+	ActionDim, AudienceDim int
+	// HiddenI / HiddenA are the CLSTM hidden sizes.
+	HiddenI, HiddenA int
+	// SeqLen is q, the history window length (9 in the paper).
+	SeqLen int
+	// Omega is ω, the REIA weight of the action stream (Eq. 16).
+	Omega float64
+	// Epochs is the training budget.
+	Epochs int
+	// LearningRate is the Adam learning rate.
+	LearningRate float64
+	// TauQuantile places the anomaly threshold τ at this quantile of the
+	// validation REIA scores (the operational form of the paper's τ sweep).
+	TauQuantile float64
+	// UseADOS enables bound-based filtering (ADG + L1 + trigger) in the
+	// detection path.
+	UseADOS bool
+	// EnableUpdate turns on the dynamic model-update machinery (Fig. 5).
+	EnableUpdate bool
+	// Update configures the updater when EnableUpdate is set.
+	Update update.Config
+	// Seed drives all stochastic choices.
+	Seed int64
+}
+
+// DefaultConfig returns the paper's configuration for the given feature
+// dimensions.
+func DefaultConfig(actionDim, audienceDim int) Config {
+	return Config{
+		ActionDim:    actionDim,
+		AudienceDim:  audienceDim,
+		HiddenI:      32,
+		HiddenA:      16,
+		SeqLen:       9,
+		Omega:        0.8,
+		Epochs:       15,
+		LearningRate: 0.01,
+		TauQuantile:  0.95,
+		UseADOS:      true,
+		EnableUpdate: false,
+		Update:       update.DefaultConfig(),
+		Seed:         1,
+	}
+}
+
+// Validate reports the first invalid field.
+func (c Config) Validate() error {
+	if c.Epochs <= 0 {
+		return fmt.Errorf("aovlis: Epochs must be positive, got %d", c.Epochs)
+	}
+	if c.TauQuantile < 0 || c.TauQuantile > 1 {
+		return fmt.Errorf("aovlis: TauQuantile must be in [0,1], got %v", c.TauQuantile)
+	}
+	return c.modelConfig().Validate()
+}
+
+func (c Config) modelConfig() core.Config {
+	mc := core.DefaultConfig(c.ActionDim, c.AudienceDim)
+	mc.HiddenI, mc.HiddenA = c.HiddenI, c.HiddenA
+	mc.SeqLen = c.SeqLen
+	mc.Omega = c.Omega
+	mc.LearningRate = c.LearningRate
+	mc.Seed = c.Seed
+	return mc
+}
+
+// Result is the detector's verdict for one observed segment.
+type Result struct {
+	// Warmup is true while the detector still lacks q segments of history;
+	// no decision is made.
+	Warmup bool
+	// Anomaly is the decision (false during warm-up).
+	Anomaly bool
+	// Score is the REIA score (or its bound-implied estimate when the
+	// ADOS filter decided without the exact computation).
+	Score float64
+	// Exact reports whether Score is the exact REIA value.
+	Exact bool
+	// Path names the deciding mechanism ("exact", "JSmax", "REG_I", ...).
+	Path string
+	// Updated is true when this observation triggered an incremental model
+	// update.
+	Updated bool
+}
+
+// Detector is the online AOVLIS anomaly detector.
+type Detector struct {
+	cfg    Config
+	model  *core.Model
+	filter *ados.Filter
+	upd    *update.Updater
+	tau    float64
+
+	// sliding windows of the last q features
+	actWin [][]float64
+	audWin [][]float64
+
+	observed int
+	detected int
+}
+
+// Train fits a detector on a normal (anomaly-free) feature series: the
+// CLSTM is trained on 75% of the sequences, τ is calibrated on the
+// remaining 25%, and the dynamic updater (when enabled) is seeded with the
+// training hidden states.
+func Train(actions, audience [][]float64, cfg Config) (*Detector, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	model, err := core.NewModel(cfg.modelConfig())
+	if err != nil {
+		return nil, err
+	}
+	samples, err := core.BuildSamples(actions, audience, cfg.SeqLen)
+	if err != nil {
+		return nil, err
+	}
+	split := len(samples) * 3 / 4
+	if split == 0 || split == len(samples) {
+		return nil, fmt.Errorf("aovlis: need more training data (%d sequences)", len(samples))
+	}
+	train, valid := samples[:split], samples[split:]
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	for e := 0; e < cfg.Epochs; e++ {
+		if _, err := model.TrainEpoch(train, rng); err != nil {
+			return nil, fmt.Errorf("aovlis: training epoch %d: %w", e, err)
+		}
+	}
+	valScores := make([]float64, 0, len(valid))
+	for i := range valid {
+		sc, err := model.Score(&valid[i])
+		if err != nil {
+			return nil, err
+		}
+		valScores = append(valScores, sc.REIA)
+	}
+	tau := core.CalibrateThreshold(valScores, cfg.TauQuantile)
+
+	d := &Detector{cfg: cfg, model: model, tau: tau}
+	if err := d.initRuntime(train); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// initRuntime builds the filter and updater around the trained model.
+func (d *Detector) initRuntime(seedSamples []core.Sample) error {
+	fcfg := ados.DefaultConfig(d.tau, d.cfg.Omega)
+	if !d.cfg.UseADOS {
+		fcfg.Strategy = ados.StrategyNoBound
+	}
+	filter, err := ados.NewFilter(fcfg)
+	if err != nil {
+		return err
+	}
+	d.filter = filter
+	if d.cfg.EnableUpdate {
+		upd, err := update.New(d.model, d.cfg.Update)
+		if err != nil {
+			return err
+		}
+		if seedSamples != nil {
+			if err := upd.SeedHistory(seedSamples); err != nil {
+				return err
+			}
+		}
+		d.upd = upd
+	}
+	return nil
+}
+
+// Tau returns the calibrated anomaly threshold τ.
+func (d *Detector) Tau() float64 { return d.tau }
+
+// SetTau overrides the anomaly threshold (re-deriving the filter).
+func (d *Detector) SetTau(tau float64) error {
+	d.tau = tau
+	fcfg := d.filter.Config()
+	fcfg.Tau = tau
+	filter, err := ados.NewFilter(fcfg)
+	if err != nil {
+		return err
+	}
+	d.filter = filter
+	return nil
+}
+
+// Model exposes the underlying CLSTM (read-mostly; used by experiments).
+func (d *Detector) Model() *core.Model { return d.model }
+
+// FilterStats returns the ADOS filter activity counters.
+func (d *Detector) FilterStats() ados.Stats { return d.filter.Stats() }
+
+// Observed and Detected return stream-lifetime counters.
+func (d *Detector) Observed() int { return d.observed }
+
+// Detected returns how many segments were flagged as anomalies.
+func (d *Detector) Detected() int { return d.detected }
+
+// Observe feeds the features of the next segment. Once q segments of
+// history are buffered, each call predicts the incoming segment from the
+// window, scores it (through the ADOS filter when enabled) and returns the
+// decision; the window then slides forward.
+func (d *Detector) Observe(actionFeat, audienceFeat []float64) (Result, error) {
+	if len(actionFeat) != d.cfg.ActionDim || len(audienceFeat) != d.cfg.AudienceDim {
+		return Result{}, fmt.Errorf("aovlis: feature dims %d/%d, detector expects %d/%d",
+			len(actionFeat), len(audienceFeat), d.cfg.ActionDim, d.cfg.AudienceDim)
+	}
+	d.observed++
+	if len(d.actWin) < d.cfg.SeqLen {
+		d.actWin = append(d.actWin, actionFeat)
+		d.audWin = append(d.audWin, audienceFeat)
+		return Result{Warmup: true}, nil
+	}
+
+	sample := core.Sample{
+		ActionSeq:      d.actWin,
+		AudienceSeq:    d.audWin,
+		ActionTarget:   actionFeat,
+		AudienceTarget: audienceFeat,
+		Index:          d.observed - 1,
+	}
+	fhat, ahat, err := d.model.Predict(&sample)
+	if err != nil {
+		return Result{}, err
+	}
+	fres, err := d.filter.Decide(actionFeat, fhat, audienceFeat, ahat)
+	if err != nil {
+		return Result{}, err
+	}
+	res := Result{
+		Anomaly: fres.Anomaly,
+		Score:   fres.REIA,
+		Exact:   fres.Exact,
+		Path:    fres.Path.String(),
+	}
+	if res.Anomaly {
+		d.detected++
+	}
+
+	// Dynamic maintenance (Fig. 5): buffer presumed-normal segments and
+	// update on drift. The interaction level is the mean of the count
+	// block, computed directly from the audience feature. The buffered
+	// sample gets its own window headers because the detector's window
+	// slides in place.
+	if d.upd != nil {
+		level := interactionLevel(audienceFeat)
+		buffered := core.Sample{
+			ActionSeq:      copyWindow(d.actWin),
+			AudienceSeq:    copyWindow(d.audWin),
+			ActionTarget:   actionFeat,
+			AudienceTarget: audienceFeat,
+			Index:          sample.Index,
+		}
+		upRes, err := d.upd.Observe(buffered, level)
+		if err != nil {
+			return Result{}, fmt.Errorf("aovlis: dynamic update: %w", err)
+		}
+		res.Updated = upRes.Updated
+	}
+
+	// Slide the window with fresh headers (keeps buffered samples stable
+	// and avoids unbounded backing-array growth on long streams).
+	d.actWin = slideWindow(d.actWin, actionFeat)
+	d.audWin = slideWindow(d.audWin, audienceFeat)
+	return res, nil
+}
+
+// copyWindow duplicates the outer slice headers; the per-segment feature
+// vectors themselves are treated as immutable.
+func copyWindow(w [][]float64) [][]float64 {
+	out := make([][]float64, len(w))
+	copy(out, w)
+	return out
+}
+
+// slideWindow drops the oldest feature and appends the newest into a fresh
+// backing array of the same length.
+func slideWindow(w [][]float64, next []float64) [][]float64 {
+	out := make([][]float64, len(w))
+	copy(out, w[1:])
+	out[len(out)-1] = next
+	return out
+}
+
+// interactionLevel approximates the normalised audience interaction of a
+// feature vector as the mean of its leading (count) components; the count
+// block is the first part of Φ_D's output by construction.
+func interactionLevel(audienceFeat []float64) float64 {
+	n := len(audienceFeat) / 2
+	if n == 0 {
+		return 0
+	}
+	var sum float64
+	for _, v := range audienceFeat[:n] {
+		sum += v
+	}
+	return sum / float64(n)
+}
+
+// Recalibrate rescores a (presumed mostly normal) feature series with the
+// current model and moves τ to the given quantile of its REIA scores. Call
+// it after incremental updates have shifted the model's score distribution,
+// or when deploying to a stream with a different baseline.
+func (d *Detector) Recalibrate(actions, audience [][]float64, quantile float64) error {
+	samples, err := core.BuildSamples(actions, audience, d.cfg.SeqLen)
+	if err != nil {
+		return fmt.Errorf("aovlis: recalibrating: %w", err)
+	}
+	scores := make([]float64, 0, len(samples))
+	for i := range samples {
+		sc, err := d.model.Score(&samples[i])
+		if err != nil {
+			return err
+		}
+		scores = append(scores, sc.REIA)
+	}
+	return d.SetTau(core.CalibrateThreshold(scores, quantile))
+}
+
+// DetectSeries scores an entire feature series offline and returns one
+// Result per segment (warm-up results for the first q segments).
+func (d *Detector) DetectSeries(actions, audience [][]float64) ([]Result, error) {
+	if len(actions) != len(audience) {
+		return nil, fmt.Errorf("aovlis: series lengths %d vs %d", len(actions), len(audience))
+	}
+	out := make([]Result, 0, len(actions))
+	for i := range actions {
+		r, err := d.Observe(actions[i], audience[i])
+		if err != nil {
+			return nil, fmt.Errorf("aovlis: segment %d: %w", i, err)
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// detectorWire is the gob envelope for Save/Load.
+type detectorWire struct {
+	Config Config
+	Tau    float64
+}
+
+// Save serialises the detector (configuration, threshold, model weights).
+func (d *Detector) Save(w io.Writer) error {
+	if err := gob.NewEncoder(w).Encode(detectorWire{Config: d.cfg, Tau: d.tau}); err != nil {
+		return fmt.Errorf("aovlis: encoding detector: %w", err)
+	}
+	return d.model.Save(w)
+}
+
+// Load restores a detector written by Save. The restored detector starts
+// with an empty observation window and fresh updater state.
+func Load(r io.Reader) (*Detector, error) {
+	var wire detectorWire
+	if err := gob.NewDecoder(r).Decode(&wire); err != nil {
+		return nil, fmt.Errorf("aovlis: decoding detector: %w", err)
+	}
+	model, err := core.LoadModel(r)
+	if err != nil {
+		return nil, err
+	}
+	d := &Detector{cfg: wire.Config, model: model, tau: wire.Tau}
+	if err := d.initRuntime(nil); err != nil {
+		return nil, err
+	}
+	return d, nil
+}

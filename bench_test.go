@@ -1,0 +1,203 @@
+package aovlis
+
+// Benchmark harness: one benchmark per table and figure of the paper's
+// evaluation (§VI), each regenerating the corresponding artifact end to end
+// at the reduced QuickScale (dataset generation → feature extraction →
+// training → measurement). Run the full battery with
+//
+//	go test -bench=. -benchmem
+//
+// and the experiment binaries with cmd/experiments for the larger
+// DefaultScale outputs recorded in EXPERIMENTS.md. Micro-benchmarks for the
+// public-API hot path (Detector.Observe) sit at the bottom; per-substrate
+// micro-benchmarks live in their own packages (internal/...).
+
+import (
+	"testing"
+
+	"aovlis/internal/dataset"
+	"aovlis/internal/experiments"
+	"aovlis/internal/feature"
+	"aovlis/internal/synth"
+)
+
+// runExperiment executes one experiment artifact per benchmark iteration
+// with a fresh runner (no caches), so the reported time is the full cost of
+// regenerating the artifact.
+func runExperiment(b *testing.B, run func(*experiments.Runner) (string, error)) {
+	b.Helper()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r := experiments.NewRunner(experiments.QuickScale())
+		out, err := run(r)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(out) == 0 {
+			b.Fatal("experiment produced no artifact")
+		}
+	}
+}
+
+// --- one benchmark per paper artifact ---
+
+// BenchmarkTable1LossFunctions regenerates Table I (AUROC by loss).
+func BenchmarkTable1LossFunctions(b *testing.B) { runExperiment(b, experiments.Table1) }
+
+// BenchmarkTable2MFC regenerates Table II (MFC vs n).
+func BenchmarkTable2MFC(b *testing.B) { runExperiment(b, experiments.Table2) }
+
+// BenchmarkTable3DynamicUpdate regenerates Table III (incremental vs
+// retraining AUROC).
+func BenchmarkTable3DynamicUpdate(b *testing.B) { runExperiment(b, experiments.Table3) }
+
+// BenchmarkTable4CaseStudy regenerates Table IV (15-segment case study).
+func BenchmarkTable4CaseStudy(b *testing.B) { runExperiment(b, experiments.Table4) }
+
+// BenchmarkFig8EpochCurves regenerates Fig. 8 (Re vs epoch).
+func BenchmarkFig8EpochCurves(b *testing.B) { runExperiment(b, experiments.Fig8) }
+
+// BenchmarkFig9aOmegaSweep regenerates Fig. 9(a) (AUROC vs ω).
+func BenchmarkFig9aOmegaSweep(b *testing.B) { runExperiment(b, experiments.Fig9a) }
+
+// BenchmarkFig9bAUROCComparison regenerates Fig. 9(b) (methods × datasets).
+func BenchmarkFig9bAUROCComparison(b *testing.B) { runExperiment(b, experiments.Fig9b) }
+
+// BenchmarkFig10ROCCurves regenerates Fig. 10 (ROC curves).
+func BenchmarkFig10ROCCurves(b *testing.B) { runExperiment(b, experiments.Fig10) }
+
+// BenchmarkFig11aFilteringPower regenerates Fig. 11(a) (bound filtering
+// power).
+func BenchmarkFig11aFilteringPower(b *testing.B) { runExperiment(b, experiments.Fig11a) }
+
+// BenchmarkFig11bOptimisationStrategies regenerates Fig. 11(b) (strategy
+// timing).
+func BenchmarkFig11bOptimisationStrategies(b *testing.B) { runExperiment(b, experiments.Fig11b) }
+
+// BenchmarkFig11cEfficiencyComparison regenerates Fig. 11(c) (method
+// timing).
+func BenchmarkFig11cEfficiencyComparison(b *testing.B) { runExperiment(b, experiments.Fig11c) }
+
+// BenchmarkFig12aT1Sweep regenerates Fig. 12(a) (effect of T1).
+func BenchmarkFig12aT1Sweep(b *testing.B) { runExperiment(b, experiments.Fig12a) }
+
+// BenchmarkFig12bT2Sweep regenerates Fig. 12(b) (effect of T2).
+func BenchmarkFig12bT2Sweep(b *testing.B) { runExperiment(b, experiments.Fig12b) }
+
+// BenchmarkFig12cNsgSweep regenerates Fig. 12(c) (effect of Nsg).
+func BenchmarkFig12cNsgSweep(b *testing.B) { runExperiment(b, experiments.Fig12c) }
+
+// BenchmarkUpdateVsRetrain regenerates the §VI-C6 wall-clock comparison.
+func BenchmarkUpdateVsRetrain(b *testing.B) { runExperiment(b, experiments.UpdateCost) }
+
+// --- ablation benches (DESIGN.md §5) ---
+
+// BenchmarkAblationCoupling compares coupling variants.
+func BenchmarkAblationCoupling(b *testing.B) { runExperiment(b, experiments.AblationCoupling) }
+
+// BenchmarkAblationMerge compares dynamic-update merge strategies.
+func BenchmarkAblationMerge(b *testing.B) { runExperiment(b, experiments.AblationMerge) }
+
+// BenchmarkAblationADGGroups sweeps the ADG partition size.
+func BenchmarkAblationADGGroups(b *testing.B) { runExperiment(b, experiments.AblationADGGroups) }
+
+// --- public-API hot path ---
+
+func benchmarkDetector(b *testing.B, useADOS bool) {
+	dcfg := dataset.DefaultConfig(synth.INF())
+	dcfg.TrainSec, dcfg.TestSec = 240, 240
+	dcfg.Classes = 48
+	dcfg.SeqLen = 9
+	ds, err := dataset.Build(dcfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := DefaultConfig(48, dcfg.Audience.Dim())
+	cfg.Epochs = 4
+	cfg.UseADOS = useADOS
+	det, err := Train(ds.TrainActions, ds.TrainAudience, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Warm the window.
+	for i := 0; i < cfg.SeqLen; i++ {
+		if _, err := det.Observe(ds.TestActions[i], ds.TestAudience[i]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	n := len(ds.TestActions)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		idx := cfg.SeqLen + i%(n-cfg.SeqLen)
+		if _, err := det.Observe(ds.TestActions[idx], ds.TestAudience[idx]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDetectorObserveADOS measures the per-segment detection cost with
+// bound filtering enabled (the paper's CLSTM-ADOS configuration).
+func BenchmarkDetectorObserveADOS(b *testing.B) { benchmarkDetector(b, true) }
+
+// BenchmarkDetectorObserveExact measures the per-segment cost with the
+// exact REIA computed for every segment (no bounds).
+func BenchmarkDetectorObserveExact(b *testing.B) { benchmarkDetector(b, false) }
+
+// BenchmarkTrainDetector measures full detector training at quick scale.
+func BenchmarkTrainDetector(b *testing.B) {
+	dcfg := dataset.DefaultConfig(synth.INF())
+	dcfg.TrainSec, dcfg.TestSec = 200, 200
+	dcfg.Classes = 24
+	dcfg.SeqLen = 5
+	ds, err := dataset.Build(dcfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := DefaultConfig(24, dcfg.Audience.Dim())
+	cfg.SeqLen = 5
+	cfg.HiddenI, cfg.HiddenA = 16, 8
+	cfg.Epochs = 2
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Train(ds.TrainActions, ds.TrainAudience, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSyntheticStreamGeneration measures raw stream generation
+// (frames + comments) for ten minutes of INF content.
+func BenchmarkSyntheticStreamGeneration(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := synth.Generate(synth.Options{Preset: synth.INF(), DurationSec: 600, Seed: int64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFeatureExtraction measures the full feature pipeline (I3D-style
+// action features + Φ_D audience features) over a five-minute stream.
+func BenchmarkFeatureExtraction(b *testing.B) {
+	st, err := synth.Generate(synth.Options{Preset: synth.INF(), DurationSec: 300, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	segs, err := st.Segments()
+	if err != nil {
+		b.Fatal(err)
+	}
+	pipe, err := feature.NewPipeline(48, synth.INF().DescriptorDim, feature.DefaultAudienceConfig(), 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := pipe.Extract(segs, st.Comments, 300); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

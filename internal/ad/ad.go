@@ -1,0 +1,373 @@
+// Package ad implements a small tape-based reverse-mode automatic
+// differentiation engine over dense matrices.
+//
+// The CLSTM model of the AOVLIS paper (and every baseline that needs
+// training) is expressed as a forward computation over ad.Node values;
+// gradients with respect to all Var leaves are then produced by a single
+// Backward pass. The engine supports exactly the operators needed by the
+// coupled-LSTM equations (Eq. 1-10 of the paper), the decoders, and the
+// JS/KL/MSE reconstruction losses (Eq. 13).
+//
+// Usage:
+//
+//	tp := ad.NewTape()
+//	w := tp.Var(weights)           // trainable leaf
+//	x := tp.Const(input)           // non-trainable leaf
+//	y := tp.Tanh(tp.MatMul(x, w))  // forward graph
+//	loss := tp.Mean(tp.Square(y))
+//	tp.Backward(loss)              // w.Grad now holds dLoss/dW
+package ad
+
+import (
+	"fmt"
+	"math"
+
+	"aovlis/internal/mat"
+)
+
+// logEps guards Log against zero inputs; reconstruction features are
+// probability vectors that may contain exact zeros.
+const logEps = 1e-12
+
+// Node is one vertex of the computation graph. Value is the forward result;
+// Grad accumulates the derivative of the scalar output with respect to Value
+// during Backward. Grad is nil for constants.
+type Node struct {
+	Value *mat.Matrix
+	Grad  *mat.Matrix
+	back  func()
+	leaf  bool
+}
+
+// IsLeaf reports whether the node was created by Var or Const.
+func (n *Node) IsLeaf() bool { return n.leaf }
+
+// Tape records the forward computation in execution order so Backward can
+// replay it in reverse. A Tape is not safe for concurrent use; build one per
+// goroutine / training step.
+type Tape struct {
+	nodes []*Node
+}
+
+// NewTape returns an empty tape.
+func NewTape() *Tape { return &Tape{} }
+
+// Len returns the number of recorded nodes (useful for testing and for
+// reasoning about graph size).
+func (t *Tape) Len() int { return len(t.nodes) }
+
+func (t *Tape) push(n *Node) *Node {
+	t.nodes = append(t.nodes, n)
+	return n
+}
+
+// Var registers v as a trainable leaf. The matrix is NOT copied: the caller
+// owns the storage (parameters update in place between steps).
+func (t *Tape) Var(v *mat.Matrix) *Node {
+	return t.push(&Node{Value: v, Grad: mat.New(v.Rows, v.Cols), leaf: true})
+}
+
+// Const registers v as a non-trainable leaf. No gradient is accumulated.
+func (t *Tape) Const(v *mat.Matrix) *Node {
+	return t.push(&Node{Value: v, leaf: true})
+}
+
+// accum adds g into n.Grad, allocating it on first touch. Constants are
+// skipped entirely.
+func accum(n *Node, g *mat.Matrix) {
+	if n.Grad == nil {
+		if n.leaf {
+			return // constant
+		}
+		n.Grad = mat.New(n.Value.Rows, n.Value.Cols)
+	}
+	mat.AddInto(n.Grad, g)
+}
+
+// needsGrad reports whether gradient flow into n is useful.
+func needsGrad(n *Node) bool { return !n.leaf || n.Grad != nil }
+
+// Add returns a + b.
+func (t *Tape) Add(a, b *Node) *Node {
+	out := &Node{Value: mat.Add(a.Value, b.Value)}
+	out.back = func() {
+		if needsGrad(a) {
+			accum(a, out.Grad)
+		}
+		if needsGrad(b) {
+			accum(b, out.Grad)
+		}
+	}
+	return t.push(out)
+}
+
+// Sub returns a - b.
+func (t *Tape) Sub(a, b *Node) *Node {
+	out := &Node{Value: mat.Sub(a.Value, b.Value)}
+	out.back = func() {
+		if needsGrad(a) {
+			accum(a, out.Grad)
+		}
+		if needsGrad(b) {
+			accum(b, mat.Scale(-1, out.Grad))
+		}
+	}
+	return t.push(out)
+}
+
+// Mul returns the elementwise product a ⊙ b.
+func (t *Tape) Mul(a, b *Node) *Node {
+	out := &Node{Value: mat.Mul(a.Value, b.Value)}
+	out.back = func() {
+		if needsGrad(a) {
+			accum(a, mat.Mul(out.Grad, b.Value))
+		}
+		if needsGrad(b) {
+			accum(b, mat.Mul(out.Grad, a.Value))
+		}
+	}
+	return t.push(out)
+}
+
+// Scale returns s·a for a fixed scalar s.
+func (t *Tape) Scale(s float64, a *Node) *Node {
+	out := &Node{Value: mat.Scale(s, a.Value)}
+	out.back = func() {
+		if needsGrad(a) {
+			accum(a, mat.Scale(s, out.Grad))
+		}
+	}
+	return t.push(out)
+}
+
+// MatMul returns the matrix product a·b.
+func (t *Tape) MatMul(a, b *Node) *Node {
+	out := &Node{Value: mat.MatMul(a.Value, b.Value)}
+	out.back = func() {
+		// dL/dA = dL/dOut · Bᵀ ; dL/dB = Aᵀ · dL/dOut
+		if needsGrad(a) {
+			if a.Grad == nil {
+				a.Grad = mat.New(a.Value.Rows, a.Value.Cols)
+			}
+			mat.MatMulBTInto(a.Grad, out.Grad, b.Value)
+		}
+		if needsGrad(b) {
+			if b.Grad == nil {
+				b.Grad = mat.New(b.Value.Rows, b.Value.Cols)
+			}
+			mat.MatMulATInto(b.Grad, a.Value, out.Grad)
+		}
+	}
+	return t.push(out)
+}
+
+// ConcatCols returns the column-wise concatenation [a₁ | a₂ | ...]. All
+// inputs must share the same number of rows. The coupled-LSTM gate input
+// [h_{t-1}, g_{t-1}, f_t] is built with this operator.
+func (t *Tape) ConcatCols(parts ...*Node) *Node {
+	if len(parts) == 0 {
+		panic("ad: ConcatCols needs at least one input")
+	}
+	v := parts[0].Value
+	for _, p := range parts[1:] {
+		v = mat.ConcatCols(v, p.Value)
+	}
+	out := &Node{Value: v}
+	out.back = func() {
+		off := 0
+		for _, p := range parts {
+			w := p.Value.Cols
+			if needsGrad(p) {
+				g := mat.New(p.Value.Rows, w)
+				for i := 0; i < p.Value.Rows; i++ {
+					copy(g.Row(i), out.Grad.Row(i)[off:off+w])
+				}
+				accum(p, g)
+			}
+			off += w
+		}
+	}
+	return t.push(out)
+}
+
+// SliceCols returns columns [from, to) of a as a new node.
+func (t *Tape) SliceCols(a *Node, from, to int) *Node {
+	if from < 0 || to > a.Value.Cols || from >= to {
+		panic(fmt.Sprintf("ad: SliceCols[%d:%d] of %d cols", from, to, a.Value.Cols))
+	}
+	v := mat.New(a.Value.Rows, to-from)
+	for i := 0; i < a.Value.Rows; i++ {
+		copy(v.Row(i), a.Value.Row(i)[from:to])
+	}
+	out := &Node{Value: v}
+	out.back = func() {
+		if !needsGrad(a) {
+			return
+		}
+		g := mat.New(a.Value.Rows, a.Value.Cols)
+		for i := 0; i < a.Value.Rows; i++ {
+			copy(g.Row(i)[from:to], out.Grad.Row(i))
+		}
+		accum(a, g)
+	}
+	return t.push(out)
+}
+
+// Sigmoid returns σ(a) elementwise.
+func (t *Tape) Sigmoid(a *Node) *Node {
+	v := mat.Apply(a.Value, func(x float64) float64 { return 1 / (1 + math.Exp(-x)) })
+	out := &Node{Value: v}
+	out.back = func() {
+		if !needsGrad(a) {
+			return
+		}
+		g := mat.New(v.Rows, v.Cols)
+		for i, s := range v.Data {
+			g.Data[i] = out.Grad.Data[i] * s * (1 - s)
+		}
+		accum(a, g)
+	}
+	return t.push(out)
+}
+
+// Tanh returns tanh(a) elementwise.
+func (t *Tape) Tanh(a *Node) *Node {
+	v := mat.Apply(a.Value, math.Tanh)
+	out := &Node{Value: v}
+	out.back = func() {
+		if !needsGrad(a) {
+			return
+		}
+		g := mat.New(v.Rows, v.Cols)
+		for i, th := range v.Data {
+			g.Data[i] = out.Grad.Data[i] * (1 - th*th)
+		}
+		accum(a, g)
+	}
+	return t.push(out)
+}
+
+// ReLU returns max(0, a) elementwise.
+func (t *Tape) ReLU(a *Node) *Node {
+	v := mat.Apply(a.Value, func(x float64) float64 {
+		if x > 0 {
+			return x
+		}
+		return 0
+	})
+	out := &Node{Value: v}
+	out.back = func() {
+		if !needsGrad(a) {
+			return
+		}
+		g := mat.New(v.Rows, v.Cols)
+		for i := range v.Data {
+			if a.Value.Data[i] > 0 {
+				g.Data[i] = out.Grad.Data[i]
+			}
+		}
+		accum(a, g)
+	}
+	return t.push(out)
+}
+
+// Log returns ln(a + ε) elementwise, with ε guarding zero probabilities.
+func (t *Tape) Log(a *Node) *Node {
+	v := mat.Apply(a.Value, func(x float64) float64 { return math.Log(x + logEps) })
+	out := &Node{Value: v}
+	out.back = func() {
+		if !needsGrad(a) {
+			return
+		}
+		g := mat.New(v.Rows, v.Cols)
+		for i, x := range a.Value.Data {
+			g.Data[i] = out.Grad.Data[i] / (x + logEps)
+		}
+		accum(a, g)
+	}
+	return t.push(out)
+}
+
+// Square returns a ⊙ a.
+func (t *Tape) Square(a *Node) *Node { return t.Mul(a, a) }
+
+// Softmax returns the row-wise softmax of a. Decoder DeI uses it so the
+// reconstructed action feature f̂ is a probability distribution, matching
+// the paper's JS-divergence scoring domain.
+func (t *Tape) Softmax(a *Node) *Node {
+	v := mat.New(a.Value.Rows, a.Value.Cols)
+	for i := 0; i < a.Value.Rows; i++ {
+		copy(v.Row(i), mat.Softmax(a.Value.Row(i)))
+	}
+	out := &Node{Value: v}
+	out.back = func() {
+		if !needsGrad(a) {
+			return
+		}
+		g := mat.New(v.Rows, v.Cols)
+		for i := 0; i < v.Rows; i++ {
+			srow, grow, orow := v.Row(i), g.Row(i), out.Grad.Row(i)
+			var dot float64
+			for j, s := range srow {
+				dot += orow[j] * s
+			}
+			for j, s := range srow {
+				grow[j] = s * (orow[j] - dot)
+			}
+		}
+		accum(a, g)
+	}
+	return t.push(out)
+}
+
+// Sum reduces a to a 1x1 node holding the sum of all elements.
+func (t *Tape) Sum(a *Node) *Node {
+	v := mat.New(1, 1)
+	v.Data[0] = mat.Sum(a.Value)
+	out := &Node{Value: v}
+	out.back = func() {
+		if !needsGrad(a) {
+			return
+		}
+		g := mat.New(a.Value.Rows, a.Value.Cols)
+		g.Fill(out.Grad.Data[0])
+		accum(a, g)
+	}
+	return t.push(out)
+}
+
+// Mean reduces a to a 1x1 node holding the arithmetic mean of all elements.
+func (t *Tape) Mean(a *Node) *Node {
+	n := float64(len(a.Value.Data))
+	if n == 0 {
+		panic("ad: Mean of empty matrix")
+	}
+	return t.Scale(1/n, t.Sum(a))
+}
+
+// Backward runs reverse-mode differentiation from out, which must be a 1x1
+// scalar node recorded on this tape. After it returns, every Var leaf's Grad
+// holds d(out)/d(leaf).
+func (t *Tape) Backward(out *Node) {
+	if out.Value.Rows != 1 || out.Value.Cols != 1 {
+		panic(fmt.Sprintf("ad: Backward requires scalar output, got %dx%d", out.Value.Rows, out.Value.Cols))
+	}
+	if out.Grad == nil {
+		out.Grad = mat.New(1, 1)
+	}
+	out.Grad.Data[0] = 1
+	for i := len(t.nodes) - 1; i >= 0; i-- {
+		n := t.nodes[i]
+		if n.back != nil && n.Grad != nil {
+			n.back()
+		}
+	}
+}
+
+// Scalar returns the single element of a 1x1 node.
+func Scalar(n *Node) float64 {
+	if n.Value.Rows != 1 || n.Value.Cols != 1 {
+		panic(fmt.Sprintf("ad: Scalar of %dx%d node", n.Value.Rows, n.Value.Cols))
+	}
+	return n.Value.Data[0]
+}

@@ -1,0 +1,166 @@
+package comments
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"aovlis/internal/text"
+)
+
+func TestCountPerSecond(t *testing.T) {
+	cs := []Comment{{AtSec: 0.5}, {AtSec: 0.9}, {AtSec: 2.1}, {AtSec: -1}, {AtSec: 10}}
+	counts := CountPerSecond(cs, 3)
+	if counts[0] != 2 || counts[1] != 0 || counts[2] != 1 {
+		t.Fatalf("CountPerSecond = %v", counts)
+	}
+}
+
+func TestWindowedCounts(t *testing.T) {
+	counts := []float64{1, 2, 3, 4, 5}
+	d := WindowedCounts(counts, 1)
+	want := []float64{3, 6, 9, 12, 9}
+	for i := range want {
+		if d[i] != want[i] {
+			t.Fatalf("WindowedCounts = %v, want %v", d, want)
+		}
+	}
+	d0 := WindowedCounts(counts, 0)
+	for i := range counts {
+		if d0[i] != counts[i] {
+			t.Fatalf("s=0 should be identity: %v", d0)
+		}
+	}
+}
+
+func TestNormalizer(t *testing.T) {
+	var n Normalizer
+	if got := n.Normalize(0); got != 0 {
+		t.Fatalf("Normalize(0) with empty max = %v", got)
+	}
+	if got := n.Normalize(10); got != 1 {
+		t.Fatalf("first value should normalise to 1, got %v", got)
+	}
+	if got := n.Normalize(5); got != 0.5 {
+		t.Fatalf("Normalize(5) = %v", got)
+	}
+	if got := n.Normalize(20); got != 1 {
+		t.Fatalf("new max should normalise to 1, got %v", got)
+	}
+	if n.Max() != 20 {
+		t.Fatalf("Max = %v", n.Max())
+	}
+	n.Reset()
+	if n.Max() != 0 {
+		t.Fatal("Reset did not clear max")
+	}
+}
+
+func TestGeneratorVolumeFollowsExcitement(t *testing.T) {
+	g := NewGenerator(1, 8)
+	rng := rand.New(rand.NewSource(1))
+	low := make([]float64, 200)
+	high := make([]float64, 200)
+	for i := range high {
+		high[i] = 0.9
+	}
+	nLow := len(g.Generate(rng, low))
+	nHigh := len(g.Generate(rng, high))
+	if nHigh <= nLow*2 {
+		t.Fatalf("excited audience should comment far more: low=%d high=%d", nLow, nHigh)
+	}
+}
+
+func TestGeneratorSorted(t *testing.T) {
+	g := NewGenerator(2, 5)
+	rng := rand.New(rand.NewSource(2))
+	ex := make([]float64, 50)
+	for i := range ex {
+		ex[i] = rng.Float64()
+	}
+	cs := g.Generate(rng, ex)
+	for i := 1; i < len(cs); i++ {
+		if cs[i].AtSec < cs[i-1].AtSec {
+			t.Fatal("comments not sorted by time")
+		}
+	}
+}
+
+func TestGeneratorSentimentFollowsExcitement(t *testing.T) {
+	g := NewGenerator(3, 10)
+	rng := rand.New(rand.NewSource(3))
+	calm := make([]float64, 300)
+	excited := make([]float64, 300)
+	for i := range excited {
+		excited[i] = 0.95
+	}
+	mean := func(cs []Comment) float64 {
+		var sum float64
+		for _, c := range cs {
+			sum += text.AnalyzeString(c.Text).Polarity
+		}
+		if len(cs) == 0 {
+			return 0
+		}
+		return sum / float64(len(cs))
+	}
+	mCalm := mean(g.Generate(rng, calm))
+	mExcited := mean(g.Generate(rng, excited))
+	if mExcited <= mCalm {
+		t.Fatalf("excited comments should be more positive: calm=%.3f excited=%.3f", mCalm, mExcited)
+	}
+}
+
+func TestGeneratorClampsExcitement(t *testing.T) {
+	g := NewGenerator(1, 1)
+	rng := rand.New(rand.NewSource(4))
+	// Out-of-range excitement must not panic or produce runaway rates.
+	cs := g.Generate(rng, []float64{-5, 7, 0.5})
+	for _, c := range cs {
+		if c.AtSec < 0 || c.AtSec >= 3 {
+			t.Fatalf("comment outside time range: %v", c.AtSec)
+		}
+	}
+}
+
+func TestPoissonMean(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	const lambda = 4.0
+	var sum float64
+	const n = 20000
+	for i := 0; i < n; i++ {
+		sum += float64(poisson(rng, lambda))
+	}
+	mean := sum / n
+	if math.Abs(mean-lambda) > 0.1 {
+		t.Fatalf("poisson mean = %v, want ≈ %v", mean, lambda)
+	}
+	if poisson(rng, 0) != 0 || poisson(rng, -1) != 0 {
+		t.Fatal("poisson of non-positive rate should be 0")
+	}
+}
+
+func TestInWindow(t *testing.T) {
+	cs := []Comment{{AtSec: 1}, {AtSec: 2}, {AtSec: 3}, {AtSec: 4}}
+	got := InWindow(cs, 2, 4)
+	if len(got) != 2 || got[0].AtSec != 2 || got[1].AtSec != 3 {
+		t.Fatalf("InWindow = %v", got)
+	}
+	if got := InWindow(cs, 10, 20); len(got) != 0 {
+		t.Fatalf("empty window = %v", got)
+	}
+}
+
+func BenchmarkGenerate(b *testing.B) {
+	g := NewGenerator(3, 10)
+	rng := rand.New(rand.NewSource(6))
+	ex := make([]float64, 60)
+	for i := range ex {
+		ex[i] = 0.5
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Generate(rng, ex)
+	}
+}

@@ -1,0 +1,264 @@
+package core
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"math/rand"
+
+	"aovlis/internal/ad"
+	"aovlis/internal/mat"
+	"aovlis/internal/nn"
+)
+
+// Model is the CLSTM with decoder layers: M(S_I, S_A, θ_p) → (Î, Â)
+// (Eq. 11-12 of the paper). It couples LSTM_I (influencer behaviour over
+// action features) with LSTM_A (audience interaction behaviour); decoders
+// DeI / DeA map the final hidden states back to feature space.
+type Model struct {
+	cfg Config
+
+	ps    *nn.ParamSet
+	cellI *nn.LSTMCell
+	cellA *nn.LSTMCell
+	decI  *nn.Dense
+	decA  *nn.Dense
+
+	opt *nn.Adam
+}
+
+// NewModel constructs a CLSTM for the given configuration.
+func NewModel(cfg Config) (*Model, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	ps := nn.NewParamSet()
+	ctxI, ctxA := cfg.ctxDims()
+	m := &Model{
+		cfg:   cfg,
+		ps:    ps,
+		cellI: nn.NewLSTMCell(ps, "lstmI", ctxI, cfg.HiddenI, rng),
+		cellA: nn.NewLSTMCell(ps, "lstmA", ctxA, cfg.HiddenA, rng),
+		// DeI emits a probability distribution (softmax) because action
+		// recognition features live on the simplex and are scored with JS
+		// divergence; DeA is linear because audience features are scored
+		// with L2 distance.
+		decI: nn.NewDense(ps, "decI", cfg.HiddenI, cfg.ActionDim, nn.SoftmaxAct, rng),
+		decA: nn.NewDense(ps, "decA", cfg.HiddenA, cfg.AudienceDim, nn.Linear, rng),
+		opt:  nn.NewAdam(cfg.LearningRate),
+	}
+	return m, nil
+}
+
+// Config returns the model configuration.
+func (m *Model) Config() Config { return m.cfg }
+
+// NumParams returns the number of scalar parameters (the paper reports
+// 1,382,713 for its full-scale configuration).
+func (m *Model) NumParams() int { return m.ps.NumParams() }
+
+// Params exposes the underlying parameter set (used by the dynamic-update
+// merge and by tests).
+func (m *Model) Params() *nn.ParamSet { return m.ps }
+
+// forward runs the coupled recurrence over one sample and returns the
+// decoded predictions plus the final hidden nodes.
+func (m *Model) forward(tp *ad.Tape, b *nn.Binding, s *Sample) (fhat, ahat, hFinal, gFinal *ad.Node) {
+	h, cI := m.cellI.ZeroState(tp)
+	g, cA := m.cellA.ZeroState(tp)
+	for t := 0; t < m.cfg.SeqLen; t++ {
+		f := tp.Const(mat.VectorOf(s.ActionSeq[t]))
+		a := tp.Const(mat.VectorOf(s.AudienceSeq[t]))
+		var ctxI, ctxA *ad.Node
+		switch m.cfg.Coupling {
+		case CouplingFull:
+			ctxI = tp.ConcatCols(h, g, f)
+			ctxA = tp.ConcatCols(h, g, a)
+		case CouplingOneWay:
+			ctxI = tp.ConcatCols(h, f)
+			ctxA = tp.ConcatCols(h, g, a)
+		case CouplingNone:
+			ctxI = tp.ConcatCols(h, f)
+			ctxA = tp.ConcatCols(g, a)
+		}
+		// Both layers read the *previous* hidden states of each other
+		// (Eq. 5 and Eq. 10), so h and g update simultaneously.
+		hNext, cINext := m.cellI.Step(b, ctxI, cI)
+		gNext, cANext := m.cellA.Step(b, ctxA, cA)
+		h, cI, g, cA = hNext, cINext, gNext, cANext
+	}
+	fhat = m.decI.Apply(b, h)
+	ahat = m.decA.Apply(b, g)
+	return fhat, ahat, h, g
+}
+
+// Predict returns the model's prediction (f̂_t, â_t) of the next segment's
+// features given the q-step history in s. Targets in s are ignored.
+func (m *Model) Predict(s *Sample) (fhat, ahat []float64, err error) {
+	if err := s.validate(m.cfg); err != nil {
+		return nil, nil, err
+	}
+	tp := ad.NewTape()
+	b := m.ps.Bind(tp)
+	fn, an, _, _ := m.forward(tp, b, s)
+	return append([]float64(nil), fn.Value.Data...), append([]float64(nil), an.Value.Data...), nil
+}
+
+// Hidden returns the final hidden state h_t of LSTM_I for the sample. The
+// dynamic-update algorithm uses these vectors for drift detection because
+// they are "more robust to scene changes compared with audience interaction
+// features" (§IV-D).
+func (m *Model) Hidden(s *Sample) ([]float64, error) {
+	if err := s.validate(m.cfg); err != nil {
+		return nil, err
+	}
+	tp := ad.NewTape()
+	b := m.ps.Bind(tp)
+	_, _, h, _ := m.forward(tp, b, s)
+	return append([]float64(nil), h.Value.Data...), nil
+}
+
+// loss builds the joint training objective (Eq. 13):
+// l(I,A) = ω·Loss(Î,I) + (1−ω)·MSE(Â,A).
+func (m *Model) loss(tp *ad.Tape, fhat, ahat *ad.Node, s *Sample) *ad.Node {
+	lI := nn.ActionLoss(m.cfg.Loss, tp, mat.VectorOf(s.ActionTarget), fhat)
+	lA := nn.MSELoss(tp, ahat, mat.VectorOf(s.AudienceTarget))
+	return tp.Add(tp.Scale(m.cfg.Omega, lI), tp.Scale(1-m.cfg.Omega, lA))
+}
+
+// TrainStep runs one optimisation step on a single sample and returns its
+// loss value before the update.
+func (m *Model) TrainStep(s *Sample) (float64, error) {
+	if err := s.validate(m.cfg); err != nil {
+		return 0, err
+	}
+	if s.ActionTarget == nil || s.AudienceTarget == nil {
+		return 0, fmt.Errorf("core: TrainStep requires targets")
+	}
+	tp := ad.NewTape()
+	b := m.ps.Bind(tp)
+	fhat, ahat, _, _ := m.forward(tp, b, s)
+	loss := m.loss(tp, fhat, ahat, s)
+	tp.Backward(loss)
+	m.opt.Step(m.ps, b.Grads())
+	return ad.Scalar(loss), nil
+}
+
+// TrainEpoch shuffles samples with rng and performs one TrainStep per
+// sample, returning the mean loss. A nil rng keeps the given order.
+func (m *Model) TrainEpoch(samples []Sample, rng *rand.Rand) (float64, error) {
+	if len(samples) == 0 {
+		return 0, fmt.Errorf("core: TrainEpoch with no samples")
+	}
+	order := make([]int, len(samples))
+	for i := range order {
+		order[i] = i
+	}
+	if rng != nil {
+		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+	}
+	var total float64
+	for _, idx := range order {
+		l, err := m.TrainStep(&samples[idx])
+		if err != nil {
+			return 0, fmt.Errorf("core: sample %d: %w", idx, err)
+		}
+		total += l
+	}
+	return total / float64(len(samples)), nil
+}
+
+// EvalLoss returns the mean reconstruction loss Re over samples without
+// updating parameters — the quantity plotted against epochs in Fig. 8.
+func (m *Model) EvalLoss(samples []Sample) (float64, error) {
+	if len(samples) == 0 {
+		return 0, fmt.Errorf("core: EvalLoss with no samples")
+	}
+	var total float64
+	for i := range samples {
+		s := &samples[i]
+		if err := s.validate(m.cfg); err != nil {
+			return 0, err
+		}
+		tp := ad.NewTape()
+		b := m.ps.Bind(tp)
+		fhat, ahat, _, _ := m.forward(tp, b, s)
+		total += ad.Scalar(m.loss(tp, fhat, ahat, s))
+	}
+	return total / float64(len(samples)), nil
+}
+
+// Score computes the anomaly score REIA(t) of the sample's target segment
+// (Eq. 14-16): ω·JS(f_t, f̂_t) + (1−ω)·‖â_t − a_t‖₂.
+func (m *Model) Score(s *Sample) (Score, error) {
+	fhat, ahat, err := m.Predict(s)
+	if err != nil {
+		return Score{}, err
+	}
+	return NewScore(s.ActionTarget, fhat, s.AudienceTarget, ahat, m.cfg.Omega), nil
+}
+
+// ResetOptimizer clears Adam state; the dynamic-update algorithm calls this
+// before training a fresh CLSTM_new on buffered segments.
+func (m *Model) ResetOptimizer() { m.opt.Reset() }
+
+// Clone returns a deep copy of the model (parameters copied, optimiser
+// state reset). Used by the re-training baseline and the merge step.
+func (m *Model) Clone() *Model {
+	clone, err := NewModel(m.cfg)
+	if err != nil {
+		// cfg already validated at construction; this cannot happen.
+		panic(fmt.Sprintf("core: cloning validated model failed: %v", err))
+	}
+	if err := clone.ps.CopyFrom(m.ps); err != nil {
+		panic(fmt.Sprintf("core: cloning parameters failed: %v", err))
+	}
+	return clone
+}
+
+// Merge folds other's parameters into m as w·m + (1−w)·other — the
+// parameter-space realisation of merge(CLSTM_new, CLSTM_{t-1}) in the
+// paper's dynamic-update algorithm (Fig. 5, line 12).
+func (m *Model) Merge(other *Model, w float64) error {
+	if m.cfg.ctxEqual(other.cfg) {
+		return m.ps.Average(other.ps, w)
+	}
+	return fmt.Errorf("core: cannot merge models with different architectures")
+}
+
+// ctxEqual reports whether two configs describe the same architecture.
+func (c Config) ctxEqual(o Config) bool {
+	return c.ActionDim == o.ActionDim && c.AudienceDim == o.AudienceDim &&
+		c.HiddenI == o.HiddenI && c.HiddenA == o.HiddenA &&
+		c.SeqLen == o.SeqLen && c.Coupling == o.Coupling
+}
+
+// modelWire is the gob envelope for Save/Load.
+type modelWire struct {
+	Config Config
+}
+
+// Save serialises the model configuration and parameters.
+func (m *Model) Save(w io.Writer) error {
+	if err := gob.NewEncoder(w).Encode(modelWire{Config: m.cfg}); err != nil {
+		return fmt.Errorf("core: encoding model header: %w", err)
+	}
+	return m.ps.Save(w)
+}
+
+// LoadModel reconstructs a model previously written with Save.
+func LoadModel(r io.Reader) (*Model, error) {
+	var wire modelWire
+	if err := gob.NewDecoder(r).Decode(&wire); err != nil {
+		return nil, fmt.Errorf("core: decoding model header: %w", err)
+	}
+	m, err := NewModel(wire.Config)
+	if err != nil {
+		return nil, err
+	}
+	if err := m.ps.Load(r); err != nil {
+		return nil, err
+	}
+	return m, nil
+}

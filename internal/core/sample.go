@@ -1,0 +1,73 @@
+package core
+
+import "fmt"
+
+// Sample is one supervised training/inference example: q consecutive
+// segments of features and the features of the following segment, which the
+// model learns to predict (the paper's "behaviour at the next time point").
+type Sample struct {
+	// ActionSeq is the q×d1 window of action recognition features
+	// s_t = {x_{t-q}, ..., x_{t-1}}.
+	ActionSeq [][]float64
+	// AudienceSeq is the q×d2 window of audience interaction features.
+	AudienceSeq [][]float64
+	// ActionTarget is x_t, the next action feature.
+	ActionTarget []float64
+	// AudienceTarget is a_t, the next audience feature.
+	AudienceTarget []float64
+	// Index is the stream position of the target segment, kept so detection
+	// results can be mapped back to segments and ground-truth labels.
+	Index int
+}
+
+// BuildSamples slides a window of length q over parallel feature series
+// I (M×d1) and A (M×d2), producing one Sample per position t ∈ [q, M).
+// This realises the paper's sequence construction S_X ∈ R^{N×q×d1},
+// S_A ∈ R^{N×q×d2} with targets at the next time point.
+func BuildSamples(actions, audience [][]float64, q int) ([]Sample, error) {
+	if len(actions) != len(audience) {
+		return nil, fmt.Errorf("core: series length mismatch: %d action vs %d audience features", len(actions), len(audience))
+	}
+	if q <= 0 {
+		return nil, fmt.Errorf("core: sequence length must be positive, got %d", q)
+	}
+	if len(actions) <= q {
+		return nil, fmt.Errorf("core: need more than q=%d segments, got %d", q, len(actions))
+	}
+	samples := make([]Sample, 0, len(actions)-q)
+	for t := q; t < len(actions); t++ {
+		samples = append(samples, Sample{
+			ActionSeq:      actions[t-q : t],
+			AudienceSeq:    audience[t-q : t],
+			ActionTarget:   actions[t],
+			AudienceTarget: audience[t],
+			Index:          t,
+		})
+	}
+	return samples, nil
+}
+
+// validate checks a sample against the model dimensions.
+func (s *Sample) validate(cfg Config) error {
+	if len(s.ActionSeq) != cfg.SeqLen || len(s.AudienceSeq) != cfg.SeqLen {
+		return fmt.Errorf("core: sample sequence length %d/%d, model expects %d",
+			len(s.ActionSeq), len(s.AudienceSeq), cfg.SeqLen)
+	}
+	for i, f := range s.ActionSeq {
+		if len(f) != cfg.ActionDim {
+			return fmt.Errorf("core: action feature %d has dim %d, want %d", i, len(f), cfg.ActionDim)
+		}
+	}
+	for i, a := range s.AudienceSeq {
+		if len(a) != cfg.AudienceDim {
+			return fmt.Errorf("core: audience feature %d has dim %d, want %d", i, len(a), cfg.AudienceDim)
+		}
+	}
+	if s.ActionTarget != nil && len(s.ActionTarget) != cfg.ActionDim {
+		return fmt.Errorf("core: action target dim %d, want %d", len(s.ActionTarget), cfg.ActionDim)
+	}
+	if s.AudienceTarget != nil && len(s.AudienceTarget) != cfg.AudienceDim {
+		return fmt.Errorf("core: audience target dim %d, want %d", len(s.AudienceTarget), cfg.AudienceDim)
+	}
+	return nil
+}

@@ -1,0 +1,190 @@
+// Package dataset assembles evaluation datasets: a synthetic stream from a
+// preset (INF/SPE/TED/TWI) is segmented, run through the feature pipeline,
+// and turned into model-ready sample sequences with ground-truth labels —
+// the end-to-end path from "video" to training data (Fig. 2a of the paper).
+//
+// Following the paper's protocol, the training portion is an anomaly-free
+// (normal) stream split 75/25 into train and validation, and the test
+// portion is a separate stream of the same preset with injected anomalies.
+package dataset
+
+import (
+	"fmt"
+
+	"aovlis/internal/core"
+	"aovlis/internal/feature"
+	"aovlis/internal/synth"
+)
+
+// Config parameterises dataset construction.
+type Config struct {
+	// Preset is the stream family (INF, SPE, TED, TWI).
+	Preset synth.Preset
+	// TrainSec / TestSec are stream lengths in seconds.
+	TrainSec, TestSec int
+	// Classes is d1, the I3D class count (400 in the paper; experiments at
+	// reduced scale use fewer).
+	Classes int
+	// SeqLen is q, the model sequence length.
+	SeqLen int
+	// Audience is the audience featurizer configuration.
+	Audience feature.AudienceConfig
+	// Seed fixes generation; the test stream uses Seed+1.
+	Seed int64
+}
+
+// DefaultConfig returns a laptop-scale configuration for the preset.
+func DefaultConfig(p synth.Preset) Config {
+	return Config{
+		Preset:   p,
+		TrainSec: 480,
+		TestSec:  420,
+		Classes:  64,
+		SeqLen:   9,
+		Audience: feature.DefaultAudienceConfig(),
+		Seed:     1,
+	}
+}
+
+// Validate reports the first invalid field.
+func (c Config) Validate() error {
+	switch {
+	case c.TrainSec <= 0 || c.TestSec <= 0:
+		return fmt.Errorf("dataset: durations must be positive, got %d/%d", c.TrainSec, c.TestSec)
+	case c.Classes <= 0:
+		return fmt.Errorf("dataset: Classes must be positive, got %d", c.Classes)
+	case c.SeqLen <= 0:
+		return fmt.Errorf("dataset: SeqLen must be positive, got %d", c.SeqLen)
+	}
+	return c.Audience.Validate()
+}
+
+// Dataset is a fully-prepared evaluation dataset.
+type Dataset struct {
+	// Name is the preset name.
+	Name string
+	// Config echoes the build configuration.
+	Config Config
+
+	// TrainActions/TrainAudience are the normal-stream feature series.
+	TrainActions, TrainAudience [][]float64
+	// TrainSamples (75%) and ValidSamples (25%) partition the normal
+	// samples.
+	TrainSamples, ValidSamples []core.Sample
+
+	// TestActions/TestAudience are the anomalous-stream feature series.
+	TestActions, TestAudience [][]float64
+	// TestSamples are the test sequences; TestLabels[i] labels the segment
+	// at series index i (ground truth from injection).
+	TestSamples []core.Sample
+	TestLabels  []bool
+	// TestInteraction[i] is the normalised audience interaction level of
+	// test segment i (input to the dynamic-update filter).
+	TestInteraction []float64
+
+	// Pipeline is the fitted feature pipeline (shared I3D projection).
+	Pipeline *feature.Pipeline
+}
+
+// Build generates and featurises the dataset.
+func Build(cfg Config) (*Dataset, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	pipe, err := feature.NewPipeline(cfg.Classes, cfg.Preset.DescriptorDim, cfg.Audience, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	ds := &Dataset{Name: cfg.Preset.Name, Config: cfg, Pipeline: pipe}
+
+	// --- normal (training) stream ---
+	trainStream, err := synth.Generate(synth.Options{
+		Preset: cfg.Preset, DurationSec: cfg.TrainSec, AnomalyFree: true, Seed: cfg.Seed,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("dataset: generating training stream: %w", err)
+	}
+	trainSegs, err := trainStream.Segments()
+	if err != nil {
+		return nil, err
+	}
+	if len(trainSegs) <= cfg.SeqLen+4 {
+		return nil, fmt.Errorf("dataset: training stream too short (%d segments)", len(trainSegs))
+	}
+	ds.TrainActions, ds.TrainAudience, err = pipe.Extract(trainSegs, trainStream.Comments, cfg.TrainSec)
+	if err != nil {
+		return nil, err
+	}
+	normalSamples, err := core.BuildSamples(ds.TrainActions, ds.TrainAudience, cfg.SeqLen)
+	if err != nil {
+		return nil, err
+	}
+	split := len(normalSamples) * 3 / 4
+	ds.TrainSamples, ds.ValidSamples = normalSamples[:split], normalSamples[split:]
+
+	// --- anomalous (test) stream ---
+	testStream, err := synth.Generate(synth.Options{
+		Preset: cfg.Preset, DurationSec: cfg.TestSec, Seed: cfg.Seed + 1,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("dataset: generating test stream: %w", err)
+	}
+	testSegs, err := testStream.Segments()
+	if err != nil {
+		return nil, err
+	}
+	ds.TestActions, ds.TestAudience, err = pipe.Extract(testSegs, testStream.Comments, cfg.TestSec)
+	if err != nil {
+		return nil, err
+	}
+	ds.TestSamples, err = core.BuildSamples(ds.TestActions, ds.TestAudience, cfg.SeqLen)
+	if err != nil {
+		return nil, err
+	}
+	ds.TestLabels = make([]bool, len(testSegs))
+	ds.TestInteraction = make([]float64, len(testSegs))
+	for i := range testSegs {
+		ds.TestLabels[i] = testSegs[i].Label
+		ds.TestInteraction[i] = feature.InteractionLevel(ds.TestAudience[i], cfg.Audience)
+	}
+	return ds, nil
+}
+
+// SampleLabels returns the ground-truth label of each test sample's target
+// segment, aligned with TestSamples.
+func (d *Dataset) SampleLabels() []bool {
+	out := make([]bool, len(d.TestSamples))
+	for i := range d.TestSamples {
+		out[i] = d.TestLabels[d.TestSamples[i].Index]
+	}
+	return out
+}
+
+// HasAnomalies reports whether the test stream contains at least one
+// labelled anomaly (AUROC needs both classes).
+func (d *Dataset) HasAnomalies() bool {
+	for _, l := range d.TestLabels {
+		if l {
+			return true
+		}
+	}
+	return false
+}
+
+// BuildAll builds all four presets with shared scale parameters.
+func BuildAll(trainSec, testSec, classes, seqLen int, seed int64) ([]*Dataset, error) {
+	var out []*Dataset
+	for _, p := range synth.Presets() {
+		cfg := DefaultConfig(p)
+		cfg.TrainSec, cfg.TestSec = trainSec, testSec
+		cfg.Classes = classes
+		cfg.SeqLen = seqLen
+		cfg.Seed = seed
+		ds, err := Build(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("dataset: building %s: %w", p.Name, err)
+		}
+		out = append(out, ds)
+	}
+	return out, nil
+}

@@ -1,0 +1,145 @@
+package dataset
+
+import (
+	"math"
+	"testing"
+
+	"aovlis/internal/synth"
+)
+
+func smallConfig() Config {
+	cfg := DefaultConfig(synth.INF())
+	cfg.TrainSec, cfg.TestSec = 200, 300
+	cfg.Classes = 32
+	cfg.SeqLen = 5
+	return cfg
+}
+
+func TestBuildShapes(t *testing.T) {
+	ds, err := Build(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Name != "INF" {
+		t.Fatalf("name %s", ds.Name)
+	}
+	if len(ds.TrainActions) == 0 || len(ds.TrainActions) != len(ds.TrainAudience) {
+		t.Fatalf("train series misaligned: %d vs %d", len(ds.TrainActions), len(ds.TrainAudience))
+	}
+	if len(ds.TestActions) != len(ds.TestLabels) || len(ds.TestActions) != len(ds.TestInteraction) {
+		t.Fatal("test annotations misaligned")
+	}
+	if len(ds.TrainActions[0]) != 32 {
+		t.Fatalf("action dim %d", len(ds.TrainActions[0]))
+	}
+	wantD2 := smallConfig().Audience.Dim()
+	if len(ds.TrainAudience[0]) != wantD2 {
+		t.Fatalf("audience dim %d, want %d", len(ds.TrainAudience[0]), wantD2)
+	}
+	// 75/25 split.
+	total := len(ds.TrainSamples) + len(ds.ValidSamples)
+	if total == 0 {
+		t.Fatal("no normal samples")
+	}
+	frac := float64(len(ds.TrainSamples)) / float64(total)
+	if math.Abs(frac-0.75) > 0.02 {
+		t.Fatalf("train fraction %.3f, want 0.75", frac)
+	}
+}
+
+func TestBuildLabelsPresent(t *testing.T) {
+	ds, err := Build(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ds.HasAnomalies() {
+		t.Fatal("test stream has no anomalies; experiments need both classes")
+	}
+	labels := ds.SampleLabels()
+	if len(labels) != len(ds.TestSamples) {
+		t.Fatalf("%d sample labels for %d samples", len(labels), len(ds.TestSamples))
+	}
+	// Sample labels must match the target segment's label.
+	for i, s := range ds.TestSamples {
+		if labels[i] != ds.TestLabels[s.Index] {
+			t.Fatalf("sample %d label misaligned", i)
+		}
+	}
+}
+
+func TestBuildDeterministic(t *testing.T) {
+	a, err := Build(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Build(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.TestActions) != len(b.TestActions) {
+		t.Fatal("non-deterministic segment count")
+	}
+	for i := range a.TestActions {
+		for j := range a.TestActions[i] {
+			if a.TestActions[i][j] != b.TestActions[i][j] {
+				t.Fatal("non-deterministic features")
+			}
+		}
+	}
+}
+
+func TestBuildValidation(t *testing.T) {
+	bad := smallConfig()
+	bad.TrainSec = 0
+	if _, err := Build(bad); err == nil {
+		t.Fatal("zero TrainSec accepted")
+	}
+	bad = smallConfig()
+	bad.Classes = 0
+	if _, err := Build(bad); err == nil {
+		t.Fatal("zero Classes accepted")
+	}
+	bad = smallConfig()
+	bad.SeqLen = 0
+	if _, err := Build(bad); err == nil {
+		t.Fatal("zero SeqLen accepted")
+	}
+	bad = smallConfig()
+	bad.TrainSec = 5 // too short to yield SeqLen+ segments
+	if _, err := Build(bad); err == nil {
+		t.Fatal("too-short stream accepted")
+	}
+}
+
+func TestBuildAll(t *testing.T) {
+	all, err := BuildAll(150, 200, 24, 4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 4 {
+		t.Fatalf("%d datasets", len(all))
+	}
+	names := map[string]bool{}
+	for _, ds := range all {
+		names[ds.Name] = true
+	}
+	for _, want := range []string{"INF", "SPE", "TED", "TWI"} {
+		if !names[want] {
+			t.Fatalf("missing %s", want)
+		}
+	}
+}
+
+func TestInteractionLevelsInRange(t *testing.T) {
+	ds, err := Build(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Levels are normalised against the training-stream maximum; test-time
+	// bursts may exceed it up to the 1.5 cap.
+	for i, v := range ds.TestInteraction {
+		if v < 0 || v > 1.5 {
+			t.Fatalf("interaction level %d out of range: %v", i, v)
+		}
+	}
+}

@@ -1,0 +1,248 @@
+// Package evalx implements the paper's evaluation machinery: ROC curves and
+// AUROC (the effectiveness metrics of §VI), the filtering-power metric fp
+// of the efficiency study, and plain-text table/series rendering used by
+// the experiment harness to print paper-shaped artifacts.
+package evalx
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// ROCPoint is one (FPR, TPR) operating point.
+type ROCPoint struct {
+	FPR, TPR float64
+}
+
+// ROC computes the ROC curve of scores against binary labels by sweeping
+// the decision threshold over every distinct score (descending). The curve
+// starts at (0,0) and ends at (1,1).
+func ROC(scores []float64, labels []bool) ([]ROCPoint, error) {
+	if len(scores) != len(labels) {
+		return nil, fmt.Errorf("evalx: %d scores vs %d labels", len(scores), len(labels))
+	}
+	pos, neg := 0, 0
+	for _, l := range labels {
+		if l {
+			pos++
+		} else {
+			neg++
+		}
+	}
+	if pos == 0 || neg == 0 {
+		return nil, fmt.Errorf("evalx: ROC needs both classes (pos=%d neg=%d)", pos, neg)
+	}
+	idx := make([]int, len(scores))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return scores[idx[a]] > scores[idx[b]] })
+
+	curve := []ROCPoint{{0, 0}}
+	tp, fp := 0, 0
+	i := 0
+	for i < len(idx) {
+		// Process ties together.
+		j := i
+		for j < len(idx) && scores[idx[j]] == scores[idx[i]] {
+			if labels[idx[j]] {
+				tp++
+			} else {
+				fp++
+			}
+			j++
+		}
+		curve = append(curve, ROCPoint{FPR: float64(fp) / float64(neg), TPR: float64(tp) / float64(pos)})
+		i = j
+	}
+	return curve, nil
+}
+
+// AUROC computes the area under the ROC curve via the rank-sum
+// (Mann-Whitney U) statistic, which handles ties exactly.
+func AUROC(scores []float64, labels []bool) (float64, error) {
+	if len(scores) != len(labels) {
+		return 0, fmt.Errorf("evalx: %d scores vs %d labels", len(scores), len(labels))
+	}
+	type sl struct {
+		s float64
+		l bool
+	}
+	items := make([]sl, len(scores))
+	for i := range scores {
+		items[i] = sl{scores[i], labels[i]}
+	}
+	sort.Slice(items, func(a, b int) bool { return items[a].s < items[b].s })
+
+	pos, neg := 0, 0
+	var rankSum float64
+	i := 0
+	rank := 1
+	for i < len(items) {
+		j := i
+		for j < len(items) && items[j].s == items[i].s {
+			j++
+		}
+		// Average rank for the tie group [i, j).
+		avgRank := float64(rank+rank+(j-i)-1) / 2
+		for k := i; k < j; k++ {
+			if items[k].l {
+				rankSum += avgRank
+			}
+		}
+		rank += j - i
+		i = j
+	}
+	for _, it := range items {
+		if it.l {
+			pos++
+		} else {
+			neg++
+		}
+	}
+	if pos == 0 || neg == 0 {
+		return 0, fmt.Errorf("evalx: AUROC needs both classes (pos=%d neg=%d)", pos, neg)
+	}
+	u := rankSum - float64(pos)*float64(pos+1)/2
+	return u / (float64(pos) * float64(neg)), nil
+}
+
+// TPRAtFPR linearly interpolates the ROC curve at the given FPR — used to
+// compare curves pointwise the way Fig. 10 panels do.
+func TPRAtFPR(curve []ROCPoint, fpr float64) float64 {
+	if len(curve) == 0 {
+		return 0
+	}
+	for i := 1; i < len(curve); i++ {
+		if curve[i].FPR >= fpr {
+			lo, hi := curve[i-1], curve[i]
+			if hi.FPR == lo.FPR {
+				return math.Max(lo.TPR, hi.TPR)
+			}
+			frac := (fpr - lo.FPR) / (hi.FPR - lo.FPR)
+			return lo.TPR + frac*(hi.TPR-lo.TPR)
+		}
+	}
+	return curve[len(curve)-1].TPR
+}
+
+// FilteringPower is the paper's fp metric: filtered segments / total
+// segments.
+func FilteringPower(filtered, total int) float64 {
+	if total == 0 {
+		return 0
+	}
+	return float64(filtered) / float64(total)
+}
+
+// ConfusionAtThreshold returns TP, FP, TN, FN for a hard threshold τ
+// (score > τ ⇒ anomaly).
+func ConfusionAtThreshold(scores []float64, labels []bool, tau float64) (tp, fp, tn, fn int) {
+	for i, s := range scores {
+		pred := s > tau
+		switch {
+		case pred && labels[i]:
+			tp++
+		case pred && !labels[i]:
+			fp++
+		case !pred && !labels[i]:
+			tn++
+		default:
+			fn++
+		}
+	}
+	return tp, fp, tn, fn
+}
+
+// Table renders aligned plain-text tables for the experiment harness.
+type Table struct {
+	Title   string
+	Headers []string
+	rows    [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, Headers: headers}
+}
+
+// AddRow appends a row; cells beyond the header count are kept as-is.
+func (t *Table) AddRow(cells ...string) { t.rows = append(t.rows, cells) }
+
+// AddRowf appends a row of formatted values: strings pass through, floats
+// render with %.2f, ints with %d.
+func (t *Table) AddRowf(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case string:
+			row[i] = v
+		case float64:
+			row[i] = fmt.Sprintf("%.2f", v)
+		case int:
+			row[i] = fmt.Sprintf("%d", v)
+		default:
+			row[i] = fmt.Sprint(v)
+		}
+	}
+	t.AddRow(row...)
+}
+
+// Render returns the table as aligned text.
+func (t *Table) Render() string {
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "%s\n", t.Title)
+	}
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			if i < len(widths) {
+				fmt.Fprintf(&b, "%-*s", widths[i], c)
+			} else {
+				b.WriteString(c)
+			}
+		}
+		b.WriteString("\n")
+	}
+	writeRow(t.Headers)
+	sep := make([]string, len(t.Headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// Series renders an (x, y) sweep as "x=… y=…" lines, the harness's textual
+// analogue of a figure panel.
+func Series(name string, xs, ys []float64) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", name)
+	n := len(xs)
+	if len(ys) < n {
+		n = len(ys)
+	}
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&b, "  x=%-8.3f y=%.4f\n", xs[i], ys[i])
+	}
+	return b.String()
+}

@@ -1,0 +1,147 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// tinyScale keeps the smoke tests fast.
+func tinyScale() Scale {
+	return Scale{
+		TrainSec: 150, TestSec: 200,
+		Classes: 16, SeqLen: 4,
+		HiddenI: 8, HiddenA: 6,
+		Epochs: 2, Omega: 0.8, Seed: 1,
+	}
+}
+
+func TestRegistryComplete(t *testing.T) {
+	ids := map[string]bool{}
+	for _, e := range All() {
+		if e.ID == "" || e.Desc == "" || e.Run == nil {
+			t.Fatalf("incomplete experiment entry %+v", e)
+		}
+		if ids[e.ID] {
+			t.Fatalf("duplicate experiment id %s", e.ID)
+		}
+		ids[e.ID] = true
+	}
+	// One entry per paper artifact (4 tables + 9 figure panels + update
+	// cost) plus three ablations.
+	for _, want := range []string{
+		"table1", "table2", "table3", "table4",
+		"fig8", "fig9a", "fig9b", "fig10",
+		"fig11a", "fig11b", "fig11c",
+		"fig12a", "fig12b", "fig12c",
+		"updatecost", "ablation-coupling", "ablation-merge", "ablation-adg",
+	} {
+		if !ids[want] {
+			t.Fatalf("missing experiment %s", want)
+		}
+	}
+}
+
+func TestRunnerCachesDatasetsAndModels(t *testing.T) {
+	r := NewRunner(tinyScale())
+	ds1, err := r.Datasets()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds2, err := r.Datasets()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &ds1[0] != &ds2[0] {
+		t.Fatal("datasets rebuilt instead of cached")
+	}
+	m1, err := r.Model(ds1[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := r.Model(ds1[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m1 != m2 {
+		t.Fatal("model retrained instead of cached")
+	}
+}
+
+func TestOmegaFor(t *testing.T) {
+	r := NewRunner(tinyScale())
+	if r.omegaFor("INF") != 0.8 {
+		t.Fatal("INF ω should be 0.8")
+	}
+	for _, n := range []string{"SPE", "TED", "TWI"} {
+		if r.omegaFor(n) != 0.9 {
+			t.Fatalf("%s ω should be 0.9", n)
+		}
+	}
+}
+
+// Smoke-run the cheap experiments end to end; the expensive ones share the
+// same plumbing (Runner, datasets, models) and run in CI via -quick.
+func TestQuickExperimentsProduceArtifacts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment smoke tests skipped in -short mode")
+	}
+	r := NewRunner(tinyScale())
+	cases := []struct {
+		id       string
+		run      func(*Runner) (string, error)
+		contains []string
+	}{
+		{"table1", Table1, []string{"Table I", "CLSTM+JS", "CLSTM+L2"}},
+		{"table2", Table2, []string{"Table II", "15", "20"}},
+		{"fig9a", Fig9a, []string{"Fig 9(a)", "best ω"}},
+		{"fig11a", Fig11a, []string{"Fig 11(a)", "ADOS", "REG_I"}},
+		{"fig11b", Fig11b, []string{"Fig 11(b)", "NoBound"}},
+		{"fig12a", Fig12a, []string{"T1 sweep", "INF"}},
+		{"fig12c", Fig12c, []string{"Nsg sweep", "TWI"}},
+		{"updatecost", UpdateCost, []string{"speedup", "retrain"}},
+		{"ablation-adg", AblationADGGroups, []string{"ADG partition", "20"}},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.id, func(t *testing.T) {
+			out, err := c.run(r)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, want := range c.contains {
+				if !strings.Contains(out, want) {
+					t.Fatalf("%s output missing %q:\n%s", c.id, want, out)
+				}
+			}
+		})
+	}
+}
+
+func TestUpdateCostShowsSpeedup(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipped in -short mode")
+	}
+	r := NewRunner(tinyScale())
+	out, err := UpdateCost(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every dataset row must report a >1x speedup: incremental updates are
+	// the paper's headline efficiency claim (§VI-C6).
+	lines := strings.Split(out, "\n")
+	found := 0
+	for _, l := range lines {
+		if strings.Contains(l, "x") && (strings.Contains(l, "INF") || strings.Contains(l, "SPE") ||
+			strings.Contains(l, "TED") || strings.Contains(l, "TWI")) {
+			found++
+			fields := strings.Fields(l)
+			sp := fields[len(fields)-1]
+			if strings.HasPrefix(sp, "0.") {
+				t.Fatalf("speedup below 1x: %s", l)
+			}
+		}
+	}
+	if found != 4 {
+		t.Fatalf("expected 4 dataset rows, found %d:\n%s", found, out)
+	}
+}

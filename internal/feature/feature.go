@@ -1,0 +1,318 @@
+// Package feature implements the feature-extraction stage of AOVLIS
+// (Fig. 2a): an I3D-style action-feature extractor producing d1-dimensional
+// probability distributions per 64-frame segment, and the audience
+// interaction featurizer Φ_D combining windowed comment counts, mean word
+// embedding and sentiment (§IV-A).
+//
+// The I3D network itself is replaced by a fixed random projection from
+// frame descriptors to class logits followed by a sharpened softmax — the
+// substitution documented in DESIGN.md. It preserves the properties the
+// downstream algorithms rely on: features are sparse probability vectors
+// (1-3 dominant dimensions above 0.1), deterministic per visual content,
+// and shift when the presenter's behaviour shifts.
+package feature
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"aovlis/internal/comments"
+	"aovlis/internal/mat"
+	"aovlis/internal/stream"
+	"aovlis/internal/text"
+)
+
+// I3D is the action-recognition feature extractor Φ_F. It maps the mean
+// frame descriptor of a segment to a probability distribution over Classes
+// action classes.
+type I3D struct {
+	// Classes is d1, the number of action classes (400 for Kinetics-400).
+	Classes int
+	// DescriptorDim is the frame descriptor dimensionality.
+	DescriptorDim int
+	// Sharpness scales the logits before the softmax; higher values yield
+	// sparser distributions (the paper observes 1-3 dims above 0.1).
+	Sharpness float64
+
+	proj *mat.Matrix // DescriptorDim x Classes fixed random projection
+}
+
+// NewI3D builds the extractor with a seed-determined projection, playing
+// the role of the pre-trained Kinetics-400 weights.
+func NewI3D(classes, descriptorDim int, seed int64) (*I3D, error) {
+	if classes <= 0 || descriptorDim <= 0 {
+		return nil, fmt.Errorf("feature: I3D needs positive dims, got %d/%d", classes, descriptorDim)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	proj := mat.New(descriptorDim, classes)
+	scale := 1 / math.Sqrt(float64(descriptorDim))
+	for i := range proj.Data {
+		proj.Data[i] = rng.NormFloat64() * scale
+	}
+	return &I3D{Classes: classes, DescriptorDim: descriptorDim, Sharpness: 8, proj: proj}, nil
+}
+
+// Extract returns the action feature f_i = Φ_F(v_i) of a segment: a
+// probability distribution over action classes.
+func (x *I3D) Extract(seg *stream.Segment) ([]float64, error) {
+	if len(seg.Frames) == 0 {
+		return nil, fmt.Errorf("feature: segment %d has no frames", seg.Index)
+	}
+	mean := make([]float64, x.DescriptorDim)
+	for _, f := range seg.Frames {
+		if len(f.Descriptor) != x.DescriptorDim {
+			return nil, fmt.Errorf("feature: frame %d descriptor dim %d, want %d", f.Index, len(f.Descriptor), x.DescriptorDim)
+		}
+		for i, v := range f.Descriptor {
+			mean[i] += v
+		}
+	}
+	for i := range mean {
+		mean[i] /= float64(len(seg.Frames))
+	}
+	logits := mat.MatMul(mat.VectorOf(mean), x.proj)
+	for i := range logits.Data {
+		logits.Data[i] *= x.Sharpness
+	}
+	return mat.Softmax(logits.Data), nil
+}
+
+// ExtractSeries extracts action features for every segment.
+func (x *I3D) ExtractSeries(segs []stream.Segment) ([][]float64, error) {
+	out := make([][]float64, len(segs))
+	for i := range segs {
+		f, err := x.Extract(&segs[i])
+		if err != nil {
+			return nil, err
+		}
+		out[i] = f
+	}
+	return out, nil
+}
+
+// AudienceConfig parameterises Φ_D.
+type AudienceConfig struct {
+	// K is the number of moments (seconds) whose windowed counts D_t form a
+	// segment's k-tuple.
+	K int
+	// WindowS is s in W_s = [t−s, t+s], the count-aggregation half-window.
+	WindowS int
+	// EmbedDim is the word-embedding dimensionality.
+	EmbedDim int
+	// ConjoinNeighbors, when true (the paper's setting), concatenates the
+	// k-tuples of c_{i−1}, c_i and c_{i+1}.
+	ConjoinNeighbors bool
+	// CountScale rescales the normalised count components. It balances the
+	// magnitudes of the two reconstruction errors fused by REIA (Eq. 16) so
+	// that ω operates in the paper's range: without it the audience L2
+	// error dwarfs the action JS error by an order of magnitude.
+	CountScale float64
+}
+
+// DefaultAudienceConfig matches the paper's construction with a compact
+// embedding.
+func DefaultAudienceConfig() AudienceConfig {
+	return AudienceConfig{K: 3, WindowS: 1, EmbedDim: 8, ConjoinNeighbors: true, CountScale: 0.35}
+}
+
+// Dim returns d2, the dimensionality of the audience interaction feature:
+// the (possibly conjoined) count tuple, the mean word embedding, and the
+// two sentiment components.
+func (c AudienceConfig) Dim() int {
+	k := c.K
+	if c.ConjoinNeighbors {
+		k *= 3
+	}
+	return k + c.EmbedDim + 2
+}
+
+// Validate reports the first invalid field.
+func (c AudienceConfig) Validate() error {
+	if c.K <= 0 {
+		return fmt.Errorf("feature: K must be positive, got %d", c.K)
+	}
+	if c.WindowS < 0 {
+		return fmt.Errorf("feature: WindowS must be non-negative, got %d", c.WindowS)
+	}
+	if c.EmbedDim <= 0 {
+		return fmt.Errorf("feature: EmbedDim must be positive, got %d", c.EmbedDim)
+	}
+	return nil
+}
+
+// Audience is the audience-interaction featurizer Φ_D.
+type Audience struct {
+	cfg      AudienceConfig
+	embedder *text.Embedder
+	norm     *comments.Normalizer
+}
+
+// NewAudience builds the featurizer.
+func NewAudience(cfg AudienceConfig) (*Audience, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Audience{cfg: cfg, embedder: text.NewEmbedder(cfg.EmbedDim), norm: &comments.Normalizer{}}, nil
+}
+
+// Config returns the featurizer configuration.
+func (a *Audience) Config() AudienceConfig { return a.cfg }
+
+// ResetNormalization clears the count-normalisation reference (the
+// dynamic-update algorithm's UpdateAudiInteractNorm step); the next
+// extracted stream re-fits it.
+func (a *Audience) ResetNormalization() { a.norm.Reset() }
+
+// countCap bounds transformed counts: bursts above the (normal) reference
+// maximum remain visible up to 1.5× instead of silently redefining the
+// scale — redefining it would shrink every subsequent normal count and
+// poison the model's learned feature scale.
+const countCap = 1.5
+
+// transform scales a windowed count by the frozen reference maximum.
+func (a *Audience) transform(v float64) float64 {
+	m := a.norm.Max()
+	if m == 0 {
+		return 0
+	}
+	x := v / m
+	if x > countCap {
+		x = countCap
+	}
+	if a.cfg.CountScale > 0 {
+		x *= a.cfg.CountScale
+	}
+	return x
+}
+
+// ktuple returns the normalised windowed counts of the K moments starting
+// at the segment's first second. Out-of-range moments contribute zero.
+func (a *Audience) ktuple(d []float64, startSec int) []float64 {
+	out := make([]float64, a.cfg.K)
+	for j := 0; j < a.cfg.K; j++ {
+		t := startSec + j
+		if t >= 0 && t < len(d) {
+			out[j] = a.transform(d[t])
+		}
+	}
+	return out
+}
+
+// ExtractSeries computes audience features a_i = Φ_D(c_i) for all segments
+// given the full comment stream and its length in seconds. Counts are
+// aggregated once over the stream (D_t), then per segment the k-tuple is
+// built, optionally conjoined with the neighbours' tuples, and concatenated
+// with the mean word embedding and sentiment of the segment's comments.
+func (a *Audience) ExtractSeries(segs []stream.Segment, cs []comments.Comment, totalSec int) ([][]float64, error) {
+	if totalSec <= 0 {
+		return nil, fmt.Errorf("feature: totalSec must be positive, got %d", totalSec)
+	}
+	perSec := comments.CountPerSecond(cs, totalSec)
+	d := comments.WindowedCounts(perSec, a.cfg.WindowS)
+
+	// The first extracted stream (the normal training stream) fits the
+	// count-normalisation reference; later streams are transformed against
+	// that frozen reference so train and test features share one scale.
+	// ResetNormalization re-fits on the next stream.
+	if a.norm.Max() == 0 {
+		for _, v := range d {
+			if v > 0 {
+				a.norm.Normalize(v)
+			}
+		}
+	}
+
+	tuples := make([][]float64, len(segs))
+	for i := range segs {
+		tuples[i] = a.ktuple(d, int(segs[i].StartSec))
+	}
+
+	out := make([][]float64, len(segs))
+	for i := range segs {
+		feat := make([]float64, 0, a.cfg.Dim())
+		if a.cfg.ConjoinNeighbors {
+			feat = append(feat, a.neighborTuple(tuples, i-1)...)
+			feat = append(feat, tuples[i]...)
+			feat = append(feat, a.neighborTuple(tuples, i+1)...)
+		} else {
+			feat = append(feat, tuples[i]...)
+		}
+		tokens := segTokens(&segs[i])
+		feat = append(feat, a.embedder.MeanEmbedding(tokens)...)
+		senti := text.Analyze(tokens)
+		feat = append(feat, senti.Polarity, senti.Subjectivity)
+		out[i] = feat
+	}
+	return out, nil
+}
+
+// neighborTuple returns the tuple at index i or a zero tuple at the stream
+// boundary.
+func (a *Audience) neighborTuple(tuples [][]float64, i int) []float64 {
+	if i < 0 || i >= len(tuples) {
+		return make([]float64, a.cfg.K)
+	}
+	return tuples[i]
+}
+
+func segTokens(seg *stream.Segment) []string {
+	var tokens []string
+	for _, c := range seg.Comments {
+		tokens = append(tokens, text.Tokenize(c.Text)...)
+	}
+	return tokens
+}
+
+// InteractionLevel returns the mean normalised count of a segment's
+// feature — the quantity the dynamic-update algorithm compares against the
+// normal-segment threshold T ("normalized audience interaction < T").
+func InteractionLevel(audienceFeat []float64, cfg AudienceConfig) float64 {
+	k := cfg.K
+	if cfg.ConjoinNeighbors {
+		k *= 3
+	}
+	if k > len(audienceFeat) {
+		k = len(audienceFeat)
+	}
+	if k == 0 {
+		return 0
+	}
+	var sum float64
+	for _, v := range audienceFeat[:k] {
+		sum += v
+	}
+	return sum / float64(k)
+}
+
+// Pipeline bundles the two extractors into the paper's feature stage.
+type Pipeline struct {
+	I3D      *I3D
+	Audience *Audience
+}
+
+// NewPipeline constructs a pipeline with the given dimensions.
+func NewPipeline(classes, descriptorDim int, audienceCfg AudienceConfig, seed int64) (*Pipeline, error) {
+	i3d, err := NewI3D(classes, descriptorDim, seed)
+	if err != nil {
+		return nil, err
+	}
+	aud, err := NewAudience(audienceCfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Pipeline{I3D: i3d, Audience: aud}, nil
+}
+
+// Extract produces the aligned feature series (I, A) for a segment series.
+func (p *Pipeline) Extract(segs []stream.Segment, cs []comments.Comment, totalSec int) (actions, audience [][]float64, err error) {
+	actions, err = p.I3D.ExtractSeries(segs)
+	if err != nil {
+		return nil, nil, err
+	}
+	audience, err = p.Audience.ExtractSeries(segs, cs, totalSec)
+	if err != nil {
+		return nil, nil, err
+	}
+	return actions, audience, nil
+}

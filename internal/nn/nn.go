@@ -1,0 +1,491 @@
+// Package nn is the neural-network substrate for the AOVLIS reproduction.
+//
+// It provides named parameter sets, initialisers, an Adam optimiser
+// (the optimiser the paper uses for CLSTM training), gradient clipping,
+// dense layers, a generic LSTM cell whose gate context is supplied by the
+// caller (which is what makes the coupled CLSTM of the paper expressible:
+// the context of LSTM_I at time t is [h_{t-1}, g_{t-1}, f_t] and that of
+// LSTM_A is [h_{t-1}, g_{t-1}, a_t]), and the three reconstruction losses
+// compared in Table I of the paper (L2/MSE, KL, JS).
+package nn
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"sort"
+
+	"aovlis/internal/ad"
+	"aovlis/internal/mat"
+)
+
+// ParamSet is an ordered collection of named trainable matrices. Parameters
+// are owned by the set and updated in place by the optimiser; forward passes
+// bind them to a fresh autodiff tape per step.
+type ParamSet struct {
+	names []string
+	vals  map[string]*mat.Matrix
+}
+
+// NewParamSet returns an empty parameter set.
+func NewParamSet() *ParamSet {
+	return &ParamSet{vals: make(map[string]*mat.Matrix)}
+}
+
+// Add registers a parameter matrix under name. Re-registering a name panics:
+// model wiring bugs must fail loudly.
+func (ps *ParamSet) Add(name string, m *mat.Matrix) *mat.Matrix {
+	if _, ok := ps.vals[name]; ok {
+		panic(fmt.Sprintf("nn: duplicate parameter %q", name))
+	}
+	ps.names = append(ps.names, name)
+	ps.vals[name] = m
+	return m
+}
+
+// Get returns the parameter registered under name, panicking if absent.
+func (ps *ParamSet) Get(name string) *mat.Matrix {
+	m, ok := ps.vals[name]
+	if !ok {
+		panic(fmt.Sprintf("nn: unknown parameter %q", name))
+	}
+	return m
+}
+
+// Has reports whether name is registered.
+func (ps *ParamSet) Has(name string) bool {
+	_, ok := ps.vals[name]
+	return ok
+}
+
+// Names returns the parameter names in registration order.
+func (ps *ParamSet) Names() []string {
+	out := make([]string, len(ps.names))
+	copy(out, ps.names)
+	return out
+}
+
+// NumParams returns the total number of scalar parameters, reported the way
+// the paper reports its model size (1,382,713 parameters for the full-scale
+// CLSTM configuration).
+func (ps *ParamSet) NumParams() int {
+	n := 0
+	for _, m := range ps.vals {
+		n += len(m.Data)
+	}
+	return n
+}
+
+// Clone returns a deep copy of the parameter set.
+func (ps *ParamSet) Clone() *ParamSet {
+	out := NewParamSet()
+	for _, n := range ps.names {
+		out.Add(n, ps.vals[n].Clone())
+	}
+	return out
+}
+
+// CopyFrom overwrites every parameter in ps with the values from src, which
+// must contain an identically-shaped parameter for every name in ps.
+func (ps *ParamSet) CopyFrom(src *ParamSet) error {
+	for _, n := range ps.names {
+		sm, ok := src.vals[n]
+		if !ok {
+			return fmt.Errorf("nn: CopyFrom missing parameter %q", n)
+		}
+		dm := ps.vals[n]
+		if !mat.SameShape(dm, sm) {
+			return fmt.Errorf("nn: CopyFrom shape mismatch for %q: %dx%d vs %dx%d",
+				n, dm.Rows, dm.Cols, sm.Rows, sm.Cols)
+		}
+		copy(dm.Data, sm.Data)
+	}
+	return nil
+}
+
+// Average overwrites ps in place with the weighted average
+// w·ps + (1−w)·other. It is the parameter-merge primitive used by the
+// dynamic-update algorithm (Fig. 5 line 12: merge(CLSTM_new, CLSTM_{t-1})).
+func (ps *ParamSet) Average(other *ParamSet, w float64) error {
+	for _, n := range ps.names {
+		om, ok := other.vals[n]
+		if !ok {
+			return fmt.Errorf("nn: Average missing parameter %q", n)
+		}
+		dm := ps.vals[n]
+		if !mat.SameShape(dm, om) {
+			return fmt.Errorf("nn: Average shape mismatch for %q", n)
+		}
+		for i := range dm.Data {
+			dm.Data[i] = w*dm.Data[i] + (1-w)*om.Data[i]
+		}
+	}
+	return nil
+}
+
+// Binding associates a ParamSet with autodiff Var nodes on one tape.
+type Binding struct {
+	tape  *ad.Tape
+	nodes map[string]*ad.Node
+}
+
+// Bind creates a Var node for every parameter on tp.
+func (ps *ParamSet) Bind(tp *ad.Tape) *Binding {
+	b := &Binding{tape: tp, nodes: make(map[string]*ad.Node, len(ps.names))}
+	for _, n := range ps.names {
+		b.nodes[n] = tp.Var(ps.vals[n])
+	}
+	return b
+}
+
+// Node returns the bound Var for name.
+func (b *Binding) Node(name string) *ad.Node {
+	n, ok := b.nodes[name]
+	if !ok {
+		panic(fmt.Sprintf("nn: binding has no parameter %q", name))
+	}
+	return n
+}
+
+// Tape returns the tape this binding records onto.
+func (b *Binding) Tape() *ad.Tape { return b.tape }
+
+// Grads returns the gradient matrix of every bound parameter after Backward.
+func (b *Binding) Grads() map[string]*mat.Matrix {
+	out := make(map[string]*mat.Matrix, len(b.nodes))
+	for name, node := range b.nodes {
+		out[name] = node.Grad
+	}
+	return out
+}
+
+// --- Initialisers ---
+
+// XavierInit fills m with the Glorot/Xavier uniform distribution for a layer
+// with the given fan-in and fan-out.
+func XavierInit(m *mat.Matrix, fanIn, fanOut int, rng *rand.Rand) {
+	limit := math.Sqrt(6.0 / float64(fanIn+fanOut))
+	for i := range m.Data {
+		m.Data[i] = (rng.Float64()*2 - 1) * limit
+	}
+}
+
+// ConstInit fills m with v.
+func ConstInit(m *mat.Matrix, v float64) { m.Fill(v) }
+
+// --- Optimiser ---
+
+// Adam implements the Adam optimiser with bias correction, matching the
+// paper's training setup (learning rate 0.001).
+type Adam struct {
+	LR, Beta1, Beta2, Eps float64
+	// ClipNorm, when positive, rescales the global gradient norm to at most
+	// this value before the update (standard LSTM training stabiliser).
+	ClipNorm float64
+
+	t int
+	m map[string]*mat.Matrix
+	v map[string]*mat.Matrix
+}
+
+// NewAdam returns an Adam optimiser with the paper's defaults.
+func NewAdam(lr float64) *Adam {
+	return &Adam{
+		LR: lr, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8, ClipNorm: 5,
+		m: make(map[string]*mat.Matrix), v: make(map[string]*mat.Matrix),
+	}
+}
+
+// Step applies one Adam update to ps given gradients keyed by parameter name.
+// Missing or nil gradients are skipped (parameters unused in this step).
+func (a *Adam) Step(ps *ParamSet, grads map[string]*mat.Matrix) {
+	if a.ClipNorm > 0 {
+		clipGlobalNorm(grads, a.ClipNorm)
+	}
+	a.t++
+	bc1 := 1 - math.Pow(a.Beta1, float64(a.t))
+	bc2 := 1 - math.Pow(a.Beta2, float64(a.t))
+	for _, name := range ps.names {
+		g := grads[name]
+		if g == nil {
+			continue
+		}
+		p := ps.vals[name]
+		mv, ok := a.m[name]
+		if !ok {
+			mv = mat.New(p.Rows, p.Cols)
+			a.m[name] = mv
+			a.v[name] = mat.New(p.Rows, p.Cols)
+		}
+		vv := a.v[name]
+		for i := range p.Data {
+			gi := g.Data[i]
+			mv.Data[i] = a.Beta1*mv.Data[i] + (1-a.Beta1)*gi
+			vv.Data[i] = a.Beta2*vv.Data[i] + (1-a.Beta2)*gi*gi
+			mhat := mv.Data[i] / bc1
+			vhat := vv.Data[i] / bc2
+			p.Data[i] -= a.LR * mhat / (math.Sqrt(vhat) + a.Eps)
+		}
+	}
+}
+
+// Reset clears optimiser state (moments and step count).
+func (a *Adam) Reset() {
+	a.t = 0
+	a.m = make(map[string]*mat.Matrix)
+	a.v = make(map[string]*mat.Matrix)
+}
+
+func clipGlobalNorm(grads map[string]*mat.Matrix, maxNorm float64) {
+	var total float64
+	for _, g := range grads {
+		if g == nil {
+			continue
+		}
+		total += mat.Dot(g, g)
+	}
+	norm := math.Sqrt(total)
+	if norm <= maxNorm || norm == 0 {
+		return
+	}
+	s := maxNorm / norm
+	for _, g := range grads {
+		if g == nil {
+			continue
+		}
+		for i := range g.Data {
+			g.Data[i] *= s
+		}
+	}
+}
+
+// --- Layers ---
+
+// Activation selects the nonlinearity applied by a Dense layer.
+type Activation int
+
+// Supported activations.
+const (
+	Linear Activation = iota
+	SigmoidAct
+	TanhAct
+	ReLUAct
+	SoftmaxAct
+)
+
+// Dense is a fully-connected layer y = act(x·W + b).
+type Dense struct {
+	Name    string
+	In, Out int
+	Act     Activation
+}
+
+// NewDense registers the layer's parameters in ps and returns the layer.
+func NewDense(ps *ParamSet, name string, in, out int, act Activation, rng *rand.Rand) *Dense {
+	w := mat.New(in, out)
+	XavierInit(w, in, out, rng)
+	ps.Add(name+".W", w)
+	ps.Add(name+".b", mat.New(1, out))
+	return &Dense{Name: name, In: in, Out: out, Act: act}
+}
+
+// Apply runs the layer on x using parameters bound in b.
+func (d *Dense) Apply(b *Binding, x *ad.Node) *ad.Node {
+	tp := b.Tape()
+	z := tp.Add(tp.MatMul(x, b.Node(d.Name+".W")), b.Node(d.Name+".b"))
+	switch d.Act {
+	case Linear:
+		return z
+	case SigmoidAct:
+		return tp.Sigmoid(z)
+	case TanhAct:
+		return tp.Tanh(z)
+	case ReLUAct:
+		return tp.ReLU(z)
+	case SoftmaxAct:
+		return tp.Softmax(z)
+	default:
+		panic(fmt.Sprintf("nn: unknown activation %d", d.Act))
+	}
+}
+
+// LSTMCell is an LSTM whose gate context vector is supplied by the caller.
+// For a classic LSTM the context is [h_{t-1}, x_t]; for the paper's coupled
+// CLSTM the context of each layer is [h_{t-1}, g_{t-1}, input_t] (Eq. 1-10),
+// so the same cell implementation serves both by varying CtxDim.
+type LSTMCell struct {
+	Name   string
+	CtxDim int // dimension of the concatenated gate context
+	Hidden int
+}
+
+// NewLSTMCell registers the four gate weight matrices and biases in ps.
+// The forget-gate bias is initialised to 1 (standard remember-by-default
+// trick) and all weights use Xavier initialisation.
+func NewLSTMCell(ps *ParamSet, name string, ctxDim, hidden int, rng *rand.Rand) *LSTMCell {
+	for _, gate := range []string{"i", "f", "c", "o"} {
+		w := mat.New(ctxDim, hidden)
+		XavierInit(w, ctxDim, hidden, rng)
+		ps.Add(fmt.Sprintf("%s.W%s", name, gate), w)
+		b := mat.New(1, hidden)
+		if gate == "f" {
+			ConstInit(b, 1)
+		}
+		ps.Add(fmt.Sprintf("%s.b%s", name, gate), b)
+	}
+	return &LSTMCell{Name: name, CtxDim: ctxDim, Hidden: hidden}
+}
+
+// Step performs one LSTM step (Eq. 1-4 / 6-9 of the paper):
+//
+//	IG = σ(ctx·Wi + bi)   FG = σ(ctx·Wf + bf)
+//	Ĉ  = tanh(ctx·Wc+bc)  C  = IG⊙Ĉ + FG⊙C_{t-1}
+//	OG = σ(ctx·Wo + bo)   h  = OG⊙tanh(C)
+//
+// ctx must have CtxDim columns; cPrev is the previous cell state.
+func (c *LSTMCell) Step(b *Binding, ctx, cPrev *ad.Node) (h, cNext *ad.Node) {
+	if ctx.Value.Cols != c.CtxDim {
+		panic(fmt.Sprintf("nn: %s ctx has %d cols, want %d", c.Name, ctx.Value.Cols, c.CtxDim))
+	}
+	tp := b.Tape()
+	gate := func(g string, act func(*ad.Node) *ad.Node) *ad.Node {
+		z := tp.Add(tp.MatMul(ctx, b.Node(c.Name+".W"+g)), b.Node(c.Name+".b"+g))
+		return act(z)
+	}
+	ig := gate("i", tp.Sigmoid)
+	fg := gate("f", tp.Sigmoid)
+	cand := gate("c", tp.Tanh)
+	og := gate("o", tp.Sigmoid)
+	cNext = tp.Add(tp.Mul(ig, cand), tp.Mul(fg, cPrev))
+	h = tp.Mul(og, tp.Tanh(cNext))
+	return h, cNext
+}
+
+// ZeroState returns h0 and c0 constant nodes of the right shape.
+func (c *LSTMCell) ZeroState(tp *ad.Tape) (h0, c0 *ad.Node) {
+	return tp.Const(mat.New(1, c.Hidden)), tp.Const(mat.New(1, c.Hidden))
+}
+
+// --- Losses (autodiff-composable) ---
+
+// MSELoss returns mean((pred-target)²); the L2 reconstruction loss used for
+// LSTM_A (Eq. 13) and the CLSTM+L2 row of Table I.
+func MSELoss(tp *ad.Tape, pred *ad.Node, target *mat.Matrix) *ad.Node {
+	d := tp.Sub(pred, tp.Const(target))
+	return tp.Mean(tp.Square(d))
+}
+
+// KLLoss returns KL(p ‖ q) where p is the (constant) true distribution and q
+// the predicted distribution node: Σ p log p − Σ p log q.
+func KLLoss(tp *ad.Tape, p *mat.Matrix, q *ad.Node) *ad.Node {
+	pc := tp.Const(p)
+	return tp.Sub(tp.Sum(tp.Mul(pc, tp.Log(pc))), tp.Sum(tp.Mul(pc, tp.Log(q))))
+}
+
+// JSLoss returns the Jensen-Shannon divergence JS(p ‖ q) =
+// ½KL(p‖m) + ½KL(q‖m) with m = (p+q)/2 — the JSE loss the paper selects
+// after the Table I comparison.
+func JSLoss(tp *ad.Tape, p *mat.Matrix, q *ad.Node) *ad.Node {
+	pc := tp.Const(p)
+	m := tp.Scale(0.5, tp.Add(pc, q))
+	klPM := tp.Sub(tp.Sum(tp.Mul(pc, tp.Log(pc))), tp.Sum(tp.Mul(pc, tp.Log(m))))
+	klQM := tp.Sub(tp.Sum(tp.Mul(q, tp.Log(q))), tp.Sum(tp.Mul(q, tp.Log(m))))
+	return tp.Scale(0.5, tp.Add(klPM, klQM))
+}
+
+// LossKind selects the reconstruction loss for the action-feature stream,
+// matching the CLSTM+{L2,KL,JS} rows of Table I.
+type LossKind int
+
+// Loss kinds compared in Table I.
+const (
+	LossJS LossKind = iota
+	LossKL
+	LossL2
+)
+
+// String returns the paper's name for the loss.
+func (k LossKind) String() string {
+	switch k {
+	case LossJS:
+		return "JS"
+	case LossKL:
+		return "KL"
+	case LossL2:
+		return "L2"
+	default:
+		return fmt.Sprintf("LossKind(%d)", int(k))
+	}
+}
+
+// ActionLoss applies the selected reconstruction loss between the true
+// action feature p and predicted node q.
+func ActionLoss(kind LossKind, tp *ad.Tape, p *mat.Matrix, q *ad.Node) *ad.Node {
+	switch kind {
+	case LossJS:
+		return JSLoss(tp, p, q)
+	case LossKL:
+		return KLLoss(tp, p, q)
+	case LossL2:
+		return MSELoss(tp, q, p)
+	default:
+		panic(fmt.Sprintf("nn: unknown loss kind %d", kind))
+	}
+}
+
+// --- Serialization ---
+
+// paramsWire is the gob wire format for a ParamSet.
+type paramsWire struct {
+	Names []string
+	Rows  []int
+	Cols  []int
+	Data  [][]float64
+}
+
+// Save writes the parameter set to w in a stable, self-describing format.
+func (ps *ParamSet) Save(w io.Writer) error {
+	wire := paramsWire{}
+	names := make([]string, len(ps.names))
+	copy(names, ps.names)
+	sort.Strings(names)
+	for _, n := range names {
+		m := ps.vals[n]
+		wire.Names = append(wire.Names, n)
+		wire.Rows = append(wire.Rows, m.Rows)
+		wire.Cols = append(wire.Cols, m.Cols)
+		d := make([]float64, len(m.Data))
+		copy(d, m.Data)
+		wire.Data = append(wire.Data, d)
+	}
+	if err := gob.NewEncoder(w).Encode(wire); err != nil {
+		return fmt.Errorf("nn: encoding parameters: %w", err)
+	}
+	return nil
+}
+
+// Load reads parameters previously written by Save into ps. Every stored
+// name must match an existing parameter of identical shape.
+func (ps *ParamSet) Load(r io.Reader) error {
+	var wire paramsWire
+	if err := gob.NewDecoder(r).Decode(&wire); err != nil {
+		return fmt.Errorf("nn: decoding parameters: %w", err)
+	}
+	if len(wire.Names) != len(ps.names) {
+		return fmt.Errorf("nn: parameter count mismatch: stored %d, model %d", len(wire.Names), len(ps.names))
+	}
+	for i, n := range wire.Names {
+		m, ok := ps.vals[n]
+		if !ok {
+			return fmt.Errorf("nn: stored parameter %q not in model", n)
+		}
+		if m.Rows != wire.Rows[i] || m.Cols != wire.Cols[i] {
+			return fmt.Errorf("nn: parameter %q shape mismatch: stored %dx%d, model %dx%d",
+				n, wire.Rows[i], wire.Cols[i], m.Rows, m.Cols)
+		}
+		copy(m.Data, wire.Data[i])
+	}
+	return nil
+}

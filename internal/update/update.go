@@ -1,0 +1,283 @@
+// Package update implements the paper's dynamic model-update algorithm
+// (§IV-D, Fig. 5): incoming segments with low audience interaction are
+// buffered as presumed-normal training data; when the buffer reaches ls
+// segments, drift is measured as the mean pairwise cosine similarity
+// between the hidden states of historical and incoming data (Eq. 17); if
+// similarity falls below τ_u, a new CLSTM is trained on the buffer and
+// merged with the previous model instead of retraining from scratch.
+//
+// Eq. 17 computes sim(S_h, S_n) = (1/|S_h||S_n|)·ΣΣ cos(h_i, h_j). Because
+// cos(h_i, h_j) = ĥ_i·ĥ_j for unit-normalised vectors, the double sum
+// factorises into (Σ_i ĥ_i)·(Σ_j ĥ_j), so the implementation keeps only
+// the running sum of unit hidden vectors per set and evaluates the drift
+// statistic in O(dim) — exactly, not approximately (verified against the
+// brute-force double sum in tests).
+package update
+
+import (
+	"fmt"
+	"math/rand"
+
+	"aovlis/internal/core"
+	"aovlis/internal/mat"
+)
+
+// MergeMode selects how CLSTM_new is folded into the running model.
+type MergeMode int
+
+const (
+	// MergeAverage interpolates parameters: θ ← w·θ_new + (1−w)·θ_old.
+	// CLSTM_new starts from the old parameters (warm start), so the
+	// interpolation is well-defined despite permutation symmetry.
+	MergeAverage MergeMode = iota
+	// MergeReplace adopts CLSTM_new outright (w = 1), the ablation floor.
+	MergeReplace
+)
+
+// Config parameterises the updater.
+type Config struct {
+	// MaxBuffer is ls, the buffer length that triggers a drift check
+	// (300 in the paper).
+	MaxBuffer int
+	// DriftThreshold is τ_u: update when sim(S_h, S_n) ≤ τ_u (0.4 paper).
+	DriftThreshold float64
+	// TrainEpochs is the number of epochs CLSTM_new trains on the buffer.
+	TrainEpochs int
+	// MergeWeight is w of MergeAverage (0.5 default).
+	MergeWeight float64
+	// Mode selects the merge strategy.
+	Mode MergeMode
+	// Seed drives the training shuffles.
+	Seed int64
+}
+
+// DefaultConfig returns the paper's operating point.
+func DefaultConfig() Config {
+	return Config{
+		MaxBuffer:      300,
+		DriftThreshold: 0.4,
+		TrainEpochs:    5,
+		MergeWeight:    0.5,
+		Mode:           MergeAverage,
+		Seed:           1,
+	}
+}
+
+// Validate reports the first invalid field.
+func (c Config) Validate() error {
+	switch {
+	case c.MaxBuffer <= 0:
+		return fmt.Errorf("update: MaxBuffer must be positive, got %d", c.MaxBuffer)
+	case c.DriftThreshold < -1 || c.DriftThreshold > 1:
+		return fmt.Errorf("update: DriftThreshold must be a cosine in [-1,1], got %v", c.DriftThreshold)
+	case c.TrainEpochs <= 0:
+		return fmt.Errorf("update: TrainEpochs must be positive, got %d", c.TrainEpochs)
+	case c.MergeWeight < 0 || c.MergeWeight > 1:
+		return fmt.Errorf("update: MergeWeight must be in [0,1], got %v", c.MergeWeight)
+	}
+	return nil
+}
+
+// setSketch is the O(dim) exact representation of a hidden-state set for
+// Eq. 17: the sum of unit-normalised members plus the member count.
+type setSketch struct {
+	sum   []float64
+	count int
+}
+
+func (s *setSketch) add(h []float64) {
+	n := mat.VecNorm2(h)
+	if s.sum == nil {
+		s.sum = make([]float64, len(h))
+	}
+	if n == 0 {
+		s.count++ // zero vectors contribute zero cosine everywhere
+		return
+	}
+	for i, v := range h {
+		s.sum[i] += v / n
+	}
+	s.count++
+}
+
+func (s *setSketch) merge(o *setSketch) {
+	if o.sum == nil {
+		return
+	}
+	if s.sum == nil {
+		s.sum = make([]float64, len(o.sum))
+	}
+	for i, v := range o.sum {
+		s.sum[i] += v
+	}
+	s.count += o.count
+}
+
+func (s *setSketch) reset() {
+	s.sum = nil
+	s.count = 0
+}
+
+// Similarity computes Eq. 17 between two sketches.
+func similarity(a, b *setSketch) float64 {
+	if a.count == 0 || b.count == 0 || a.sum == nil || b.sum == nil {
+		return 1 // nothing to compare: treat as no drift
+	}
+	return mat.VecDot(a.sum, b.sum) / (float64(a.count) * float64(b.count))
+}
+
+// PairwiseCosineMean is the brute-force Eq. 17 reference used by tests and
+// by callers who hold explicit hidden-state sets.
+func PairwiseCosineMean(sh, sn [][]float64) float64 {
+	if len(sh) == 0 || len(sn) == 0 {
+		return 1
+	}
+	var total float64
+	for _, a := range sh {
+		for _, b := range sn {
+			total += mat.VecCosine(a, b)
+		}
+	}
+	return total / (float64(len(sh)) * float64(len(sn)))
+}
+
+// Result reports what one Observe call did.
+type Result struct {
+	// Buffered reports whether the segment entered the normal buffer.
+	Buffered bool
+	// Triggered reports whether the buffer filled and a drift check ran.
+	Triggered bool
+	// DriftSim is the Eq. 17 similarity when Triggered.
+	DriftSim float64
+	// Updated reports whether the model was retrained-and-merged.
+	Updated bool
+}
+
+// Updater maintains a CLSTM over a stream per Fig. 5.
+type Updater struct {
+	cfg   Config
+	model *core.Model
+
+	history  setSketch     // S_h: hidden states of historical data
+	incoming setSketch     // S_n: hidden states of buffered incoming data
+	buffer   []core.Sample // n_tmp: buffered presumed-normal segments
+
+	// interaction threshold T: mean interaction level of the previous
+	// window (Fig. 5 line 4 filters segments with interaction < T).
+	prevWindowMean float64
+	curWindowSum   float64
+	curWindowN     int
+
+	updates int
+	checks  int
+}
+
+// New builds an updater around a trained model.
+func New(model *core.Model, cfg Config) (*Updater, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if model == nil {
+		return nil, fmt.Errorf("update: nil model")
+	}
+	return &Updater{cfg: cfg, model: model, prevWindowMean: 1}, nil
+}
+
+// Model returns the current model (callers score segments with it).
+func (u *Updater) Model() *core.Model { return u.model }
+
+// Updates returns how many merge updates have happened.
+func (u *Updater) Updates() int { return u.updates }
+
+// Checks returns how many drift checks have run.
+func (u *Updater) Checks() int { return u.checks }
+
+// InteractionThreshold returns the current normal-segment threshold T.
+func (u *Updater) InteractionThreshold() float64 { return u.prevWindowMean }
+
+// SeedHistory populates S_h with the hidden states of the (normal)
+// training samples, the state the paper assumes at deployment time.
+func (u *Updater) SeedHistory(samples []core.Sample) error {
+	for i := range samples {
+		h, err := u.model.Hidden(&samples[i])
+		if err != nil {
+			return fmt.Errorf("update: seeding history: %w", err)
+		}
+		u.history.add(h)
+	}
+	return nil
+}
+
+// Observe processes one incoming segment (Fig. 5 lines 2-14): buffer it if
+// its audience interaction marks it normal, and when the buffer fills run
+// the drift check and possibly the incremental update.
+func (u *Updater) Observe(sample core.Sample, interactionLevel float64) (Result, error) {
+	var res Result
+
+	// Maintain the adaptive interaction threshold T (mean of the previous
+	// window of segments).
+	u.curWindowSum += interactionLevel
+	u.curWindowN++
+
+	h, err := u.model.Hidden(&sample)
+	if err != nil {
+		return res, fmt.Errorf("update: hidden state: %w", err)
+	}
+
+	if interactionLevel < u.prevWindowMean {
+		u.buffer = append(u.buffer, sample)
+		u.incoming.add(h)
+		res.Buffered = true
+	}
+
+	if u.incoming.count < u.cfg.MaxBuffer {
+		return res, nil
+	}
+
+	// Buffer full: drift check (Fig. 5 lines 6-8).
+	res.Triggered = true
+	u.checks++
+	res.DriftSim = similarity(&u.history, &u.incoming)
+
+	// Roll the interaction-threshold window (UpdateAudiInteractNorm).
+	if u.curWindowN > 0 {
+		u.prevWindowMean = u.curWindowSum / float64(u.curWindowN)
+	}
+	u.curWindowSum, u.curWindowN = 0, 0
+
+	if res.DriftSim <= u.cfg.DriftThreshold {
+		if err := u.applyUpdate(); err != nil {
+			return res, err
+		}
+		res.Updated = true
+		u.updates++
+	}
+
+	// S_h ← S_h ∪ S_n; clear S_n and n_tmp (lines 13-14).
+	u.history.merge(&u.incoming)
+	u.incoming.reset()
+	u.buffer = u.buffer[:0]
+	return res, nil
+}
+
+// applyUpdate trains CLSTM_new on the buffered segments (warm-started from
+// the current parameters) and merges it into the running model.
+func (u *Updater) applyUpdate() error {
+	fresh := u.model.Clone()
+	fresh.ResetOptimizer()
+	rng := rand.New(rand.NewSource(u.cfg.Seed + int64(u.updates)))
+	for e := 0; e < u.cfg.TrainEpochs; e++ {
+		if _, err := fresh.TrainEpoch(u.buffer, rng); err != nil {
+			return fmt.Errorf("update: training CLSTM_new: %w", err)
+		}
+	}
+	switch u.cfg.Mode {
+	case MergeReplace:
+		return u.model.Params().CopyFrom(fresh.Params())
+	case MergeAverage:
+		// θ_model ← (1−w)·θ_model + w·θ_new.
+		return u.model.Params().Average(fresh.Params(), 1-u.cfg.MergeWeight)
+	default:
+		return fmt.Errorf("update: unknown merge mode %d", u.cfg.Mode)
+	}
+}

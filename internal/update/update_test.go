@@ -1,0 +1,353 @@
+package update
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"aovlis/internal/core"
+	"aovlis/internal/mat"
+)
+
+func testModel(t *testing.T) *core.Model {
+	t.Helper()
+	cfg := core.DefaultConfig(8, 4)
+	cfg.HiddenI, cfg.HiddenA = 8, 6
+	cfg.SeqLen = 3
+	cfg.LearningRate = 0.01
+	m, err := core.NewModel(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// makeSeries emits features cycling over 4 action classes starting at
+// `phase`: phase 0 uses classes 0-3, phase 4 uses classes 4-7 — genuinely
+// new content, i.e. the model drift the paper's update algorithm targets.
+func makeSeries(rng *rand.Rand, n, d1, d2 int, phase int) (actions, audience [][]float64) {
+	for t := 0; t < n; t++ {
+		f := make([]float64, d1)
+		f[((t/5)%4+phase)%d1] = 1
+		for i := range f {
+			f[i] += 0.02 + 0.01*rng.Float64()
+		}
+		mat.Normalize(f)
+		a := make([]float64, d2)
+		base := 0.3
+		if phase != 0 {
+			base = 0.8 // drifted streams carry a different engagement regime
+		}
+		for i := range a {
+			a[i] = base + 0.1*rng.NormFloat64()
+		}
+		actions = append(actions, f)
+		audience = append(audience, a)
+	}
+	return actions, audience
+}
+
+func makeSamples(t *testing.T, rng *rand.Rand, n, phase int) []core.Sample {
+	t.Helper()
+	actions, audience := makeSeries(rng, n, 8, 4, phase)
+	samples, err := core.BuildSamples(actions, audience, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return samples
+}
+
+func TestConfigValidate(t *testing.T) {
+	good := DefaultConfig()
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	cases := []func(*Config){
+		func(c *Config) { c.MaxBuffer = 0 },
+		func(c *Config) { c.DriftThreshold = 2 },
+		func(c *Config) { c.TrainEpochs = 0 },
+		func(c *Config) { c.MergeWeight = -0.1 },
+	}
+	for i, mut := range cases {
+		c := DefaultConfig()
+		mut(&c)
+		if err := c.Validate(); err == nil {
+			t.Fatalf("case %d accepted", i)
+		}
+	}
+	if _, err := New(nil, DefaultConfig()); err == nil {
+		t.Fatal("nil model accepted")
+	}
+}
+
+// The sketch-based Eq. 17 must match the brute-force double sum exactly.
+func TestSimilaritySketchMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 50; trial++ {
+		dim := 2 + rng.Intn(10)
+		nh, nn := 1+rng.Intn(20), 1+rng.Intn(20)
+		var sh, sn [][]float64
+		var a, b setSketch
+		for i := 0; i < nh; i++ {
+			h := make([]float64, dim)
+			for j := range h {
+				h[j] = rng.NormFloat64()
+			}
+			sh = append(sh, h)
+			a.add(h)
+		}
+		for i := 0; i < nn; i++ {
+			h := make([]float64, dim)
+			for j := range h {
+				h[j] = rng.NormFloat64()
+			}
+			sn = append(sn, h)
+			b.add(h)
+		}
+		want := PairwiseCosineMean(sh, sn)
+		got := similarity(&a, &b)
+		if math.Abs(got-want) > 1e-9 {
+			t.Fatalf("trial %d: sketch %v vs brute force %v", trial, got, want)
+		}
+	}
+}
+
+func TestSimilarityEdgeCases(t *testing.T) {
+	var empty, one setSketch
+	one.add([]float64{1, 0})
+	if got := similarity(&empty, &one); got != 1 {
+		t.Fatalf("empty-set similarity = %v, want 1 (no drift)", got)
+	}
+	var zeros setSketch
+	zeros.add([]float64{0, 0})
+	if got := similarity(&zeros, &one); got != 0 {
+		t.Fatalf("zero-vector similarity = %v", got)
+	}
+	if got := PairwiseCosineMean(nil, [][]float64{{1}}); got != 1 {
+		t.Fatalf("brute force empty = %v", got)
+	}
+}
+
+func TestObserveBuffersOnlyLowInteraction(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	m := testModel(t)
+	cfg := DefaultConfig()
+	cfg.MaxBuffer = 50
+	u, err := New(m, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples := makeSamples(t, rng, 20, 0)
+	// Initial threshold T = 1: interaction 0.5 < 1 buffers; 1.5 does not.
+	res, err := u.Observe(samples[0], 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Buffered {
+		t.Fatal("low-interaction segment not buffered")
+	}
+	res2, err := u.Observe(samples[1], 1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Buffered {
+		t.Fatal("high-interaction segment buffered")
+	}
+}
+
+func TestNoDriftKeepsModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	m := testModel(t)
+	train := makeSamples(t, rng, 60, 0)
+	r := rand.New(rand.NewSource(4))
+	for e := 0; e < 10; e++ {
+		if _, err := m.TrainEpoch(train, r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cfg := DefaultConfig()
+	cfg.MaxBuffer = 20
+	// The paper's τ_u = 0.4 is calibrated to its real hidden distributions;
+	// at toy scale same-distribution similarity sits lower, so pick a τ_u
+	// below it to exercise the keep-model path.
+	cfg.DriftThreshold = 0.05
+	u, _ := New(m, cfg)
+	if err := u.SeedHistory(train); err != nil {
+		t.Fatal(err)
+	}
+	before := m.Params().Clone()
+
+	// Same-distribution incoming data: similarity should stay above τ_u.
+	incoming := makeSamples(t, rng, 40, 0)
+	var triggered bool
+	for _, s := range incoming {
+		res, err := u.Observe(s, 0.1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Triggered {
+			triggered = true
+			if res.DriftSim <= cfg.DriftThreshold {
+				t.Fatalf("same-distribution drift sim %v below threshold %v", res.DriftSim, cfg.DriftThreshold)
+			}
+			if res.Updated {
+				t.Fatal("model updated without drift")
+			}
+		}
+	}
+	if !triggered {
+		t.Fatal("buffer never filled")
+	}
+	after := m.Params()
+	for _, name := range after.Names() {
+		a, b := before.Get(name), after.Get(name)
+		for i := range a.Data {
+			if a.Data[i] != b.Data[i] {
+				t.Fatal("parameters changed despite no update")
+			}
+		}
+	}
+	if u.Updates() != 0 || u.Checks() == 0 {
+		t.Fatalf("updates=%d checks=%d", u.Updates(), u.Checks())
+	}
+}
+
+func TestDriftTriggersUpdate(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	m := testModel(t)
+	train := makeSamples(t, rng, 60, 0)
+	r := rand.New(rand.NewSource(6))
+	for e := 0; e < 10; e++ {
+		if _, err := m.TrainEpoch(train, r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cfg := DefaultConfig()
+	cfg.MaxBuffer = 20
+	cfg.TrainEpochs = 3
+	// Force the update path by accepting any similarity below 1.
+	cfg.DriftThreshold = 0.999
+	u, _ := New(m, cfg)
+	if err := u.SeedHistory(train); err != nil {
+		t.Fatal(err)
+	}
+	before := m.Params().Clone()
+
+	// Shifted-distribution incoming data (different phase).
+	incoming := makeSamples(t, rng, 40, 4)
+	var updated bool
+	for _, s := range incoming {
+		res, err := u.Observe(s, 0.1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Updated {
+			updated = true
+		}
+	}
+	if !updated {
+		t.Fatal("drifted stream did not update the model")
+	}
+	changed := false
+	for _, name := range m.Params().Names() {
+		a, b := before.Get(name), m.Params().Get(name)
+		for i := range a.Data {
+			if a.Data[i] != b.Data[i] {
+				changed = true
+			}
+		}
+	}
+	if !changed {
+		t.Fatal("update did not change parameters")
+	}
+	if u.Updates() == 0 {
+		t.Fatal("update counter not incremented")
+	}
+}
+
+func TestDriftStatisticSeparatesRegimes(t *testing.T) {
+	// At toy scale the *sign* of the shift in Eq. 17 depends on where the
+	// untrained-input hidden states land, so we assert the robust property:
+	// genuinely new content moves the statistic by a clear margin relative
+	// to same-distribution content (the paper's τ_u then thresholds it).
+	rng := rand.New(rand.NewSource(7))
+	m := testModel(t)
+	train := makeSamples(t, rng, 80, 0)
+	r := rand.New(rand.NewSource(8))
+	for e := 0; e < 30; e++ {
+		if _, err := m.TrainEpoch(train, r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	simFor := func(phase int) float64 {
+		cfg := DefaultConfig()
+		cfg.MaxBuffer = 30
+		cfg.DriftThreshold = -1 // never update; we only read the statistic
+		u, _ := New(m.Clone(), cfg)
+		if err := u.SeedHistory(train); err != nil {
+			t.Fatal(err)
+		}
+		incoming := makeSamples(t, rng, 40, phase)
+		for _, s := range incoming {
+			res, err := u.Observe(s, 0.1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Triggered {
+				return res.DriftSim
+			}
+		}
+		t.Fatal("never triggered")
+		return 0
+	}
+	same := simFor(0)
+	shifted := simFor(4)
+	if math.Abs(shifted-same) < 0.02 {
+		t.Fatalf("drift statistic does not separate regimes: same=%v shifted=%v", same, shifted)
+	}
+}
+
+func TestMergeReplaceAdoptsNewModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	m := testModel(t)
+	train := makeSamples(t, rng, 40, 0)
+	cfg := DefaultConfig()
+	cfg.MaxBuffer = 10
+	cfg.DriftThreshold = 0.9999
+	cfg.Mode = MergeReplace
+	cfg.TrainEpochs = 2
+	u, _ := New(m, cfg)
+	if err := u.SeedHistory(train[:5]); err != nil {
+		t.Fatal(err)
+	}
+	incoming := makeSamples(t, rng, 30, 3)
+	for _, s := range incoming {
+		if _, err := u.Observe(s, 0.0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if u.Updates() == 0 {
+		t.Fatal("replace mode never updated")
+	}
+}
+
+func TestInteractionThresholdAdapts(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	m := testModel(t)
+	cfg := DefaultConfig()
+	cfg.MaxBuffer = 10
+	u, _ := New(m, cfg)
+	samples := makeSamples(t, rng, 40, 0)
+	if u.InteractionThreshold() != 1 {
+		t.Fatalf("initial T = %v, want 1", u.InteractionThreshold())
+	}
+	// Feed low interactions; after a window rolls, T ≈ 0.2.
+	for i := 0; i < 15; i++ {
+		if _, err := u.Observe(samples[i%len(samples)], 0.2); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := u.InteractionThreshold(); math.Abs(got-0.2) > 1e-9 {
+		t.Fatalf("adapted T = %v, want 0.2", got)
+	}
+}
