@@ -25,10 +25,13 @@
 package aovlis
 
 import (
+	"bytes"
 	"encoding/gob"
+	"errors"
 	"fmt"
 	"io"
 	"math/rand"
+	"sync/atomic"
 
 	"aovlis/internal/ados"
 	"aovlis/internal/core"
@@ -123,7 +126,22 @@ type Result struct {
 	Updated bool
 }
 
+// ErrConcurrentObserve is returned when Observe detects a second concurrent
+// caller instead of letting it corrupt the sliding window.
+var ErrConcurrentObserve = errors.New("aovlis: concurrent Observe calls on one Detector (single-writer contract; route channels through internal/serve)")
+
 // Detector is the online AOVLIS anomaly detector.
+//
+// Concurrency contract: a Detector is a single-writer object. Observe,
+// DetectSeries, Recalibrate, SetTau and Save all mutate internal state —
+// the sliding window, the ADOS filter counters and (with EnableUpdate) the
+// model weights themselves — and must be confined to one goroutine at a
+// time. The read accessors (Tau, Observed, Detected, FilterStats, Model)
+// are safe only while no writer is active. Observe enforces the contract
+// cheaply: a call that races with another Observe fails with
+// ErrConcurrentObserve rather than silently corrupting the window. To score
+// many streams concurrently, give each its own Detector and confine each to
+// one goroutine — the DetectorPool in internal/serve does exactly this.
 type Detector struct {
 	cfg    Config
 	model  *core.Model
@@ -137,6 +155,9 @@ type Detector struct {
 
 	observed int
 	detected int
+
+	// observing guards the single-writer contract on the Observe path.
+	observing atomic.Int32
 }
 
 // Train fits a detector on a normal (anomaly-free) feature series: the
@@ -241,7 +262,15 @@ func (d *Detector) Detected() int { return d.detected }
 // history are buffered, each call predicts the incoming segment from the
 // window, scores it (through the ADOS filter when enabled) and returns the
 // decision; the window then slides forward.
+//
+// Observe is not safe for concurrent use: a call that overlaps another
+// Observe on the same Detector returns ErrConcurrentObserve (see the
+// concurrency contract on Detector).
 func (d *Detector) Observe(actionFeat, audienceFeat []float64) (Result, error) {
+	if !d.observing.CompareAndSwap(0, 1) {
+		return Result{}, ErrConcurrentObserve
+	}
+	defer d.observing.Store(0)
 	if len(actionFeat) != d.cfg.ActionDim || len(audienceFeat) != d.cfg.AudienceDim {
 		return Result{}, fmt.Errorf("aovlis: feature dims %d/%d, detector expects %d/%d",
 			len(actionFeat), len(audienceFeat), d.cfg.ActionDim, d.cfg.AudienceDim)
@@ -387,6 +416,19 @@ func (d *Detector) Save(w io.Writer) error {
 		return fmt.Errorf("aovlis: encoding detector: %w", err)
 	}
 	return d.model.Save(w)
+}
+
+// Clone returns an independent detector with the same configuration,
+// threshold and model weights but a fresh observation window, filter and
+// updater — the way to monitor many channels from one trained model: train
+// (or Load) once, Clone per channel. Clone only reads the detector, but it
+// must not overlap a writer (see the concurrency contract).
+func (d *Detector) Clone() (*Detector, error) {
+	var buf bytes.Buffer
+	if err := d.Save(&buf); err != nil {
+		return nil, fmt.Errorf("aovlis: cloning detector: %w", err)
+	}
+	return Load(&buf)
 }
 
 // Load restores a detector written by Save. The restored detector starts

@@ -2,7 +2,10 @@ package aovlis
 
 import (
 	"bytes"
+	"errors"
 	"math/rand"
+	"sync"
+	"sync/atomic"
 	"testing"
 
 	"aovlis/internal/dataset"
@@ -131,6 +134,88 @@ func TestObserveDimValidation(t *testing.T) {
 	}
 	if _, err := det.Observe(trainA[0], []float64{1}); err == nil {
 		t.Fatal("wrong audience dim accepted")
+	}
+}
+
+// TestObserveConcurrentGuard exercises the single-writer enforcement:
+// racing Observe calls must either succeed or fail with
+// ErrConcurrentObserve, and the detector's counters must account exactly
+// for the successes. Run under -race this also proves the losing caller
+// touches no detector state.
+func TestObserveConcurrentGuard(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	trainA, trainU := makeSeries(rng, 100, nil)
+	det, err := Train(trainA, trainU, testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const goroutines, perG = 4, 200
+	var wg sync.WaitGroup
+	var succeeded, conflicted atomic.Int64
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				_, err := det.Observe(trainA[i%len(trainA)], trainU[i%len(trainU)])
+				switch {
+				case err == nil:
+					succeeded.Add(1)
+				case errors.Is(err, ErrConcurrentObserve):
+					conflicted.Add(1)
+				default:
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := succeeded.Load() + conflicted.Load(); got != goroutines*perG {
+		t.Fatalf("accounted for %d of %d calls", got, goroutines*perG)
+	}
+	if det.Observed() != int(succeeded.Load()) {
+		t.Fatalf("Observed = %d, successes = %d", det.Observed(), succeeded.Load())
+	}
+	// The guard releases: a sequential call afterwards works.
+	if _, err := det.Observe(trainA[0], trainU[0]); err != nil {
+		t.Fatalf("sequential Observe after contention: %v", err)
+	}
+}
+
+// TestCloneIndependence: a cloned detector shares weights and threshold
+// but none of the runtime state.
+func TestCloneIndependence(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	trainA, trainU := makeSeries(rng, 100, nil)
+	det, err := Train(trainA, trainU, testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if _, err := det.Observe(trainA[i], trainU[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	clone, err := det.Clone()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clone.Tau() != det.Tau() {
+		t.Fatalf("clone tau %v, original %v", clone.Tau(), det.Tau())
+	}
+	if clone.Observed() != 0 {
+		t.Fatalf("clone inherited %d observations", clone.Observed())
+	}
+	res, err := clone.Observe(trainA[0], trainU[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Warmup {
+		t.Fatal("clone did not start with an empty window")
+	}
+	if det.Observed() != 10 {
+		t.Fatalf("cloning disturbed the original (Observed = %d)", det.Observed())
 	}
 }
 

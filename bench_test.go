@@ -10,7 +10,10 @@ package aovlis
 // and the experiment binaries with cmd/experiments for the larger
 // DefaultScale outputs recorded in EXPERIMENTS.md. Micro-benchmarks for the
 // public-API hot path (Detector.Observe) sit at the bottom; per-substrate
-// micro-benchmarks live in their own packages (internal/...).
+// micro-benchmarks live in their own packages (internal/...). The
+// multi-channel pool throughput benchmark (segments/sec vs shard count)
+// lives in pool_bench_test.go — the external test package, because
+// internal/serve imports this package.
 
 import (
 	"testing"

@@ -1,0 +1,324 @@
+// Command aovlisd is the multi-channel AOVLIS detection daemon: it trains
+// (or loads) one detector, then serves any number of live channels over
+// HTTP, cloning the trained model per channel and scoring their segment
+// features concurrently through a sharded serve.DetectorPool.
+//
+// Endpoints:
+//
+//	POST /channels/{id}/observe   NDJSON in, NDJSON out. Each request line
+//	                              is {"action":[...],"audience":[...]};
+//	                              each response line is the decision for
+//	                              that segment, streamed as it is made.
+//	                              The channel is created on first use.
+//	GET  /channels/{id}/stats     per-channel counters as JSON
+//	GET  /channels                all channels' counters as JSON
+//	GET  /healthz                 liveness + pool totals
+//
+// Usage:
+//
+//	aovlisd -addr :8080 -preset INF -train-sec 420
+//	aovlisd -load model.bin -shards 8 -policy drop
+//
+//	curl -N -XPOST --data-binary @features.ndjson \
+//	    localhost:8080/channels/alice/observe
+//	curl localhost:8080/channels/alice/stats
+package main
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
+
+	"aovlis"
+	"aovlis/internal/dataset"
+	"aovlis/internal/serve"
+	"aovlis/internal/synth"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", ":8080", "listen address")
+		presetName  = flag.String("preset", "INF", "training stream preset: INF, SPE, TED or TWI")
+		trainSec    = flag.Int("train-sec", 420, "training stream length (seconds)")
+		classes     = flag.Int("classes", 48, "action feature classes (d1)")
+		epochs      = flag.Int("epochs", 10, "training epochs")
+		seed        = flag.Int64("seed", 1, "random seed")
+		loadPath    = flag.String("load", "", "load a saved detector instead of training")
+		shards      = flag.Int("shards", 4, "detector pool shards (worker goroutines)")
+		queueDepth  = flag.Int("queue", 256, "per-shard ingest queue depth")
+		policyName  = flag.String("policy", "block", "queue overflow policy: block or drop")
+		maxChannels = flag.Int("max-channels", 1024, "maximum concurrently attached channels")
+	)
+	flag.Parse()
+
+	if err := run(*addr, *presetName, *trainSec, *classes, *epochs, *seed, *loadPath,
+		*shards, *queueDepth, *policyName, *maxChannels); err != nil {
+		fmt.Fprintln(os.Stderr, "aovlisd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr, presetName string, trainSec, classes, epochs int, seed int64, loadPath string,
+	shards, queueDepth int, policyName string, maxChannels int) error {
+	policy, err := serve.ParsePolicy(policyName)
+	if err != nil {
+		return err
+	}
+	template, err := buildTemplate(presetName, trainSec, classes, epochs, seed, loadPath)
+	if err != nil {
+		return err
+	}
+	pool, err := serve.NewDetectorPool(serve.Config{Shards: shards, QueueDepth: queueDepth, Policy: policy})
+	if err != nil {
+		return err
+	}
+
+	d := &daemon{pool: pool, template: template, maxChannels: maxChannels, started: time.Now()}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", d.handleHealth)
+	mux.HandleFunc("/channels", d.handleList)
+	mux.HandleFunc("/channels/", d.handleChannel)
+	srv := &http.Server{Addr: addr, Handler: mux}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	fmt.Printf("aovlisd listening on %s (%d shards, queue %d, policy %s, τ = %.4f)\n",
+		addr, shards, queueDepth, policy, template.Tau())
+
+	select {
+	case err := <-errc:
+		pool.Close()
+		return err
+	case <-ctx.Done():
+	}
+	fmt.Println("aovlisd: shutting down")
+	shCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shCtx); err != nil {
+		return err
+	}
+	return pool.Close()
+}
+
+// buildTemplate trains a detector on a normal synthetic stream or loads a
+// saved one; its clones serve the channels.
+func buildTemplate(presetName string, trainSec, classes, epochs int, seed int64, loadPath string) (*aovlis.Detector, error) {
+	if loadPath != "" {
+		f, err := os.Open(loadPath)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		det, err := aovlis.Load(f)
+		if err != nil {
+			return nil, err
+		}
+		fmt.Printf("loaded detector from %s (τ = %.4f)\n", loadPath, det.Tau())
+		return det, nil
+	}
+	preset, err := synth.PresetByName(presetName)
+	if err != nil {
+		return nil, err
+	}
+	dcfg := dataset.DefaultConfig(preset)
+	dcfg.TrainSec, dcfg.TestSec = trainSec, 64 // the test stream is unused here
+	dcfg.Classes = classes
+	dcfg.Seed = seed
+	fmt.Printf("training on a %ds normal %s stream...\n", trainSec, preset.Name)
+	ds, err := dataset.Build(dcfg)
+	if err != nil {
+		return nil, err
+	}
+	cfg := aovlis.DefaultConfig(classes, dcfg.Audience.Dim())
+	cfg.Epochs = epochs
+	cfg.Seed = seed
+	det, err := aovlis.Train(ds.TrainActions, ds.TrainAudience, cfg)
+	if err != nil {
+		return nil, err
+	}
+	fmt.Printf("trained: %d parameters, τ = %.4f\n", det.Model().NumParams(), det.Tau())
+	return det, nil
+}
+
+// daemon is the HTTP front of the pool.
+type daemon struct {
+	pool        *serve.DetectorPool
+	template    *aovlis.Detector
+	maxChannels int
+	started     time.Time
+
+	// attachMu serialises channel creation so concurrent first-observes of
+	// one id clone the template exactly once.
+	attachMu sync.Mutex
+}
+
+// observation is one NDJSON request line.
+type observation struct {
+	Action   []float64 `json:"action"`
+	Audience []float64 `json:"audience"`
+}
+
+// decision is one NDJSON response line.
+type decision struct {
+	Channel string  `json:"channel"`
+	Seq     int     `json:"seq"`
+	Warmup  bool    `json:"warmup,omitempty"`
+	Anomaly bool    `json:"anomaly"`
+	Score   float64 `json:"score"`
+	Exact   bool    `json:"exact"`
+	Path    string  `json:"path,omitempty"`
+	Dropped bool    `json:"dropped,omitempty"`
+	Error   string  `json:"error,omitempty"`
+}
+
+// ensureChannel attaches a fresh clone of the template under id if needed.
+func (d *daemon) ensureChannel(id string) error {
+	d.attachMu.Lock()
+	defer d.attachMu.Unlock()
+	if _, err := d.pool.Stats(id); err == nil {
+		return nil
+	}
+	if n := len(d.pool.Channels()); n >= d.maxChannels {
+		return fmt.Errorf("channel limit reached (%d)", d.maxChannels)
+	}
+	det, err := d.template.Clone()
+	if err != nil {
+		return err
+	}
+	err = d.pool.Attach(id, det)
+	if errors.Is(err, serve.ErrChannelExists) {
+		return nil
+	}
+	return err
+}
+
+// handleChannel routes /channels/{id}/observe and /channels/{id}/stats.
+func (d *daemon) handleChannel(w http.ResponseWriter, r *http.Request) {
+	rest := strings.TrimPrefix(r.URL.Path, "/channels/")
+	id, verb, ok := strings.Cut(rest, "/")
+	if !ok || id == "" {
+		http.Error(w, "want /channels/{id}/observe or /channels/{id}/stats", http.StatusNotFound)
+		return
+	}
+	switch verb {
+	case "observe":
+		if r.Method != http.MethodPost {
+			http.Error(w, "observe wants POST", http.StatusMethodNotAllowed)
+			return
+		}
+		d.handleObserve(w, r, id)
+	case "stats":
+		if r.Method != http.MethodGet {
+			http.Error(w, "stats wants GET", http.StatusMethodNotAllowed)
+			return
+		}
+		st, err := d.pool.Stats(id)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusNotFound)
+			return
+		}
+		writeJSON(w, st)
+	default:
+		http.Error(w, fmt.Sprintf("unknown channel action %q", verb), http.StatusNotFound)
+	}
+}
+
+// handleObserve streams decisions for an NDJSON observation stream. Each
+// line is scored in order through the channel's shard; under the drop
+// policy an overloaded queue yields a "dropped" line instead of a verdict.
+func (d *daemon) handleObserve(w http.ResponseWriter, r *http.Request, id string) {
+	if err := d.ensureChannel(id); err != nil {
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		return
+	}
+	// The handler interleaves request-body reads with streamed response
+	// writes. Go's HTTP/1 server is half-duplex by default — it discards
+	// the unread body once the response starts — so full duplex must be
+	// requested explicitly (HTTP/2 interleaves natively; the error there
+	// is ignorable).
+	if err := http.NewResponseController(w).EnableFullDuplex(); err != nil && r.ProtoMajor == 1 {
+		http.Error(w, fmt.Sprintf("streaming unsupported: %v", err), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	sc := bufio.NewScanner(r.Body)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20) // feature vectors can be wide
+	seq := 0
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		var obs observation
+		dec := decision{Channel: id, Seq: seq}
+		if err := json.Unmarshal([]byte(line), &obs); err != nil {
+			dec.Error = fmt.Sprintf("bad observation line: %v", err)
+		} else {
+			res, err := d.pool.Observe(id, obs.Action, obs.Audience)
+			switch {
+			case errors.Is(err, serve.ErrOverloaded):
+				dec.Dropped = true
+			case err != nil:
+				dec.Error = err.Error()
+			default:
+				dec.Warmup = res.Warmup
+				dec.Anomaly = res.Anomaly
+				dec.Score = res.Score
+				dec.Exact = res.Exact
+				dec.Path = res.Path
+			}
+		}
+		if err := enc.Encode(dec); err != nil {
+			return // client went away
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		seq++
+	}
+	// A scanner failure (e.g. a line over the buffer cap) would otherwise
+	// look like a cleanly completed stream; surface it as a final line.
+	if err := sc.Err(); err != nil {
+		enc.Encode(decision{Channel: id, Seq: seq, Error: fmt.Sprintf("request stream aborted: %v", err)})
+	}
+}
+
+// handleList reports every channel's counters.
+func (d *daemon) handleList(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "channels wants GET", http.StatusMethodNotAllowed)
+		return
+	}
+	writeJSON(w, d.pool.AllStats())
+}
+
+// handleHealth is the liveness endpoint.
+func (d *daemon) handleHealth(w http.ResponseWriter, r *http.Request) {
+	ps := d.pool.PoolStats()
+	writeJSON(w, map[string]interface{}{
+		"status":         "ok",
+		"uptime_seconds": int(time.Since(d.started).Seconds()),
+		"pool":           ps,
+	})
+}
+
+func writeJSON(w http.ResponseWriter, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}

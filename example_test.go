@@ -1,0 +1,46 @@
+package aovlis_test
+
+import (
+	"fmt"
+	"log"
+
+	"aovlis"
+	"aovlis/internal/dataset"
+	"aovlis/internal/synth"
+)
+
+// Example_quickstart is the package-documentation workflow, runnable: train
+// a detector on a normal (anomaly-free) feature series, then feed the
+// monitored stream's per-segment features and read one decision per
+// segment.
+func Example_quickstart() {
+	// The bundled synthetic INF preset supplies both feature series; in
+	// production they come from your own ingestion pipeline.
+	cfg := dataset.DefaultConfig(synth.INF())
+	cfg.TrainSec, cfg.TestSec = 240, 120
+	cfg.Classes = 32
+	ds, err := dataset.Build(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	dcfg := aovlis.DefaultConfig(32, cfg.Audience.Dim())
+	dcfg.Epochs = 4
+	det, err := aovlis.Train(ds.TrainActions, ds.TrainAudience, dcfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	for i := range ds.TestActions {
+		res, err := det.Observe(ds.TestActions[i], ds.TestAudience[i])
+		if err != nil {
+			log.Fatal(err)
+		}
+		if res.Anomaly {
+			_ = res.Score // react to the anomaly: alert, clip, moderate, ...
+		}
+	}
+	fmt.Printf("scored %d segments (tau calibrated: %v)\n", det.Observed(), det.Tau() > 0)
+	// Output:
+	// scored 118 segments (tau calibrated: true)
+}

@@ -1,0 +1,3 @@
+module aovlis
+
+go 1.21

@@ -25,7 +25,8 @@ import (
 
 // I3D is the action-recognition feature extractor Φ_F. It maps the mean
 // frame descriptor of a segment to a probability distribution over Classes
-// action classes.
+// action classes. An I3D is immutable after construction, so one extractor
+// may serve any number of goroutines concurrently.
 type I3D struct {
 	// Classes is d1, the number of action classes (400 for Kinetics-400).
 	Classes int
@@ -186,12 +187,13 @@ func (a *Audience) transform(v float64) float64 {
 	return x
 }
 
-// ktuple returns the normalised windowed counts of the K moments starting
-// at the segment's first second. Out-of-range moments contribute zero.
-func (a *Audience) ktuple(d []float64, startSec int) []float64 {
+// ktupleAt returns the normalised windowed counts of the K moments starting
+// at the segment's first second, where d[0] holds the counts of stream
+// second base. Out-of-range moments contribute zero.
+func (a *Audience) ktupleAt(d []float64, startSec, base int) []float64 {
 	out := make([]float64, a.cfg.K)
 	for j := 0; j < a.cfg.K; j++ {
-		t := startSec + j
+		t := startSec + j - base
 		if t >= 0 && t < len(d) {
 			out[j] = a.transform(d[t])
 		}
@@ -223,37 +225,65 @@ func (a *Audience) ExtractSeries(segs []stream.Segment, cs []comments.Comment, t
 		}
 	}
 
-	tuples := make([][]float64, len(segs))
-	for i := range segs {
-		tuples[i] = a.ktuple(d, int(segs[i].StartSec))
-	}
-
 	out := make([][]float64, len(segs))
 	for i := range segs {
-		feat := make([]float64, 0, a.cfg.Dim())
-		if a.cfg.ConjoinNeighbors {
-			feat = append(feat, a.neighborTuple(tuples, i-1)...)
-			feat = append(feat, tuples[i]...)
-			feat = append(feat, a.neighborTuple(tuples, i+1)...)
-		} else {
-			feat = append(feat, tuples[i]...)
+		var prev, next *stream.Segment
+		if i > 0 {
+			prev = &segs[i-1]
 		}
-		tokens := segTokens(&segs[i])
-		feat = append(feat, a.embedder.MeanEmbedding(tokens)...)
-		senti := text.Analyze(tokens)
-		feat = append(feat, senti.Polarity, senti.Subjectivity)
-		out[i] = feat
+		if i+1 < len(segs) {
+			next = &segs[i+1]
+		}
+		out[i] = a.ExtractOne(&segs[i], prev, next, d, 0)
 	}
 	return out, nil
 }
 
-// neighborTuple returns the tuple at index i or a zero tuple at the stream
-// boundary.
-func (a *Audience) neighborTuple(tuples [][]float64, i int) []float64 {
-	if i < 0 || i >= len(tuples) {
-		return make([]float64, a.cfg.K)
+// Clone returns an independent featurizer with the same configuration and
+// the same frozen count-normalisation reference but a private embedding
+// cache. The embedder memoises word vectors in a map that tolerates only
+// one writer, so concurrent per-channel extraction must clone the fitted
+// featurizer rather than share it.
+func (a *Audience) Clone() *Audience {
+	c := &Audience{cfg: a.cfg, embedder: text.NewEmbedder(a.cfg.EmbedDim), norm: &comments.Normalizer{}}
+	if m := a.norm.Max(); m > 0 {
+		c.norm.Normalize(m) // freeze the same reference maximum
 	}
-	return tuples[i]
+	return c
+}
+
+// ExtractOne computes the audience feature of a single segment online,
+// given the windowed count series observed so far (comments.WindowedCounts
+// over the per-second counts) and the neighbouring segments for the conjoin
+// step. baseSec is the stream second windowed[0] corresponds to (0 for a
+// full-stream series), letting a long-running extractor trim the series it
+// no longer needs. A nil prev/next contributes a zero k-tuple, the same
+// convention ExtractSeries applies at the stream boundary, so an online
+// extractor that passes the true neighbours reproduces ExtractSeries
+// exactly for interior segments. Unlike ExtractSeries, ExtractOne never
+// fits the count normalisation reference: extract a normal training series
+// first (or Clone a fitted featurizer) so counts are scaled against the
+// training reference.
+func (a *Audience) ExtractOne(seg, prev, next *stream.Segment, windowed []float64, baseSec int) []float64 {
+	tuple := func(s *stream.Segment) []float64 {
+		if s == nil {
+			return make([]float64, a.cfg.K)
+		}
+		return a.ktupleAt(windowed, int(s.StartSec), baseSec)
+	}
+	feat := make([]float64, 0, a.cfg.Dim())
+	if a.cfg.ConjoinNeighbors {
+		feat = append(feat, tuple(prev)...)
+		feat = append(feat, tuple(seg)...)
+		feat = append(feat, tuple(next)...)
+	} else {
+		feat = append(feat, tuple(seg)...)
+	}
+	tokens := segTokens(seg)
+	feat = append(feat, a.embedder.MeanEmbedding(tokens)...)
+	senti := text.Analyze(tokens)
+	feat = append(feat, senti.Polarity, senti.Subjectivity)
+	return feat
 }
 
 func segTokens(seg *stream.Segment) []string {
@@ -302,6 +332,13 @@ func NewPipeline(classes, descriptorDim int, audienceCfg AudienceConfig, seed in
 		return nil, err
 	}
 	return &Pipeline{I3D: i3d, Audience: aud}, nil
+}
+
+// Clone returns a pipeline that shares the (read-only) I3D extractor but
+// owns an independent clone of the audience featurizer, suitable for
+// per-channel concurrent extraction.
+func (p *Pipeline) Clone() *Pipeline {
+	return &Pipeline{I3D: p.I3D, Audience: p.Audience.Clone()}
 }
 
 // Extract produces the aligned feature series (I, A) for a segment series.

@@ -217,6 +217,66 @@ func TestAudienceNeighborConjoin(t *testing.T) {
 	}
 }
 
+// TestExtractOneMatchesSeries: the online single-segment extractor must
+// reproduce the batch extractor exactly when handed the true neighbours and
+// the same windowed count series.
+func TestExtractOneMatchesSeries(t *testing.T) {
+	segs, cs, aud := audienceFixture(t)
+	feats, err := aud.ExtractSeries(segs, cs, 10) // fits the count reference
+	if err != nil {
+		t.Fatal(err)
+	}
+	windowed := comments.WindowedCounts(comments.CountPerSecond(cs, 10), aud.Config().WindowS)
+	for i := range segs {
+		var prev, next *stream.Segment
+		if i > 0 {
+			prev = &segs[i-1]
+		}
+		if i+1 < len(segs) {
+			next = &segs[i+1]
+		}
+		got := aud.ExtractOne(&segs[i], prev, next, windowed, 0)
+		if len(got) != len(feats[i]) {
+			t.Fatalf("segment %d: dim %d, want %d", i, len(got), len(feats[i]))
+		}
+		for j := range got {
+			if got[j] != feats[i][j] {
+				t.Fatalf("segment %d component %d: %v, batch %v", i, j, got[j], feats[i][j])
+			}
+		}
+	}
+}
+
+// TestAudienceClone: a clone shares the frozen count reference (identical
+// output) but owns its own embedder cache, and cloning before fitting
+// yields an unfitted featurizer.
+func TestAudienceClone(t *testing.T) {
+	segs, cs, aud := audienceFixture(t)
+	feats, err := aud.ExtractSeries(segs, cs, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clone := aud.Clone()
+	cfeats, err := clone.ExtractSeries(segs, cs, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range feats {
+		for j := range feats[i] {
+			if feats[i][j] != cfeats[i][j] {
+				t.Fatalf("clone diverged at segment %d component %d: %v vs %v", i, j, cfeats[i][j], feats[i][j])
+			}
+		}
+	}
+	unfitted, err := NewAudience(DefaultAudienceConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := unfitted.Clone().ExtractOne(&segs[3], nil, nil, comments.WindowedCounts(comments.CountPerSecond(cs, 10), 1), 0); mat.VecSum(got[:unfitted.Config().Dim()-unfitted.Config().EmbedDim-2]) != 0 {
+		t.Fatalf("unfitted clone produced non-zero counts: %v", got)
+	}
+}
+
 func TestInteractionLevel(t *testing.T) {
 	cfg := AudienceConfig{K: 2, EmbedDim: 2, ConjoinNeighbors: false}
 	feat := []float64{0.4, 0.8, 9, 9, 9, 9} // counts then text features

@@ -1,0 +1,443 @@
+// Package serve turns the single-stream aovlis library into a concurrent
+// multi-channel detection service: a DetectorPool owns N independent
+// channels (one trained detector per channel), shards them across a fixed
+// set of worker goroutines, and exposes a thread-safe ingest API with
+// bounded queues and an explicit backpressure policy.
+//
+// The design honours the Detector's single-writer contract (see the
+// aovlis package documentation) by goroutine confinement: every channel is
+// pinned to exactly one shard, and only that shard's worker ever calls
+// Observe on the channel's detector. Callers may therefore submit
+// observations for any channel from any number of goroutines; ordering is
+// preserved per caller per channel because submission order into the
+// shard's FIFO queue is execution order.
+//
+// The pool is the seam every future scaling layer plugs into: cmd/aovlisd
+// fronts it with HTTP+NDJSON, examples/multichannel drives 64 synthetic
+// channels through it, and the pool benchmark in the root package measures
+// segments/sec against shard count.
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"aovlis"
+	"aovlis/internal/ados"
+)
+
+// Detector is the per-channel scoring interface. *aovlis.Detector
+// implements it; tests and alternative backends may substitute their own.
+// The pool confines each Detector to a single shard worker, so
+// implementations need not be safe for concurrent use.
+type Detector interface {
+	Observe(actionFeat, audienceFeat []float64) (aovlis.Result, error)
+}
+
+// filterStatser is implemented by detectors that expose ADOS filter
+// counters (notably *aovlis.Detector).
+type filterStatser interface {
+	FilterStats() ados.Stats
+}
+
+// OverflowPolicy selects what Submit does when a shard's ingest queue is
+// full.
+type OverflowPolicy int
+
+const (
+	// Block applies backpressure: Submit waits for queue space. This is
+	// the lossless default — a slow shard slows its producers down.
+	Block OverflowPolicy = iota
+	// DropNewest sheds load: Submit fails fast with ErrOverloaded and the
+	// observation is counted as dropped on its channel. Live streams often
+	// prefer losing a segment over falling behind real time.
+	DropNewest
+)
+
+// String names the policy.
+func (p OverflowPolicy) String() string {
+	switch p {
+	case Block:
+		return "block"
+	case DropNewest:
+		return "drop"
+	default:
+		return fmt.Sprintf("OverflowPolicy(%d)", int(p))
+	}
+}
+
+// ParsePolicy converts a CLI-style policy name ("block" or "drop").
+func ParsePolicy(s string) (OverflowPolicy, error) {
+	switch s {
+	case "block":
+		return Block, nil
+	case "drop":
+		return DropNewest, nil
+	default:
+		return 0, fmt.Errorf("serve: unknown overflow policy %q (want block or drop)", s)
+	}
+}
+
+// Config parameterises a DetectorPool.
+type Config struct {
+	// Shards is the number of worker goroutines (and ingest queues).
+	// Channels are assigned to shards by a stable hash of their id.
+	Shards int
+	// QueueDepth is the capacity of each shard's ingest queue.
+	QueueDepth int
+	// Policy selects the behaviour when a queue is full.
+	Policy OverflowPolicy
+}
+
+// DefaultConfig returns a small general-purpose pool configuration.
+func DefaultConfig() Config {
+	return Config{Shards: 4, QueueDepth: 256, Policy: Block}
+}
+
+// Validate reports the first invalid field.
+func (c Config) Validate() error {
+	if c.Shards <= 0 {
+		return fmt.Errorf("serve: Shards must be positive, got %d", c.Shards)
+	}
+	if c.QueueDepth <= 0 {
+		return fmt.Errorf("serve: QueueDepth must be positive, got %d", c.QueueDepth)
+	}
+	if c.Policy != Block && c.Policy != DropNewest {
+		return fmt.Errorf("serve: unknown overflow policy %d", int(c.Policy))
+	}
+	return nil
+}
+
+// Errors returned by the pool's ingest API.
+var (
+	// ErrClosed is returned by operations on a closed pool.
+	ErrClosed = errors.New("serve: pool is closed")
+	// ErrOverloaded is returned under the DropNewest policy when the
+	// channel's shard queue is full; the observation was not enqueued.
+	ErrOverloaded = errors.New("serve: shard queue full, observation dropped")
+	// ErrUnknownChannel is returned for ids with no attached channel.
+	ErrUnknownChannel = errors.New("serve: unknown channel")
+	// ErrChannelExists is returned by Attach for duplicate ids.
+	ErrChannelExists = errors.New("serve: channel already attached")
+)
+
+// Outcome is the asynchronous result of one submitted observation.
+type Outcome struct {
+	// Result is the detector's verdict (zero when Err is set).
+	Result aovlis.Result
+	// Err is the detector error, if any.
+	Err error
+}
+
+// job is one queued observation bound to its channel.
+type job struct {
+	ch       *channel
+	action   []float64
+	audience []float64
+	out      chan Outcome // buffered(1): the worker's send never blocks
+}
+
+// channel is one attached stream with its confined detector and counters.
+// All counters are atomics so Stats can be read while the shard works.
+type channel struct {
+	id     string
+	shard  *shard
+	det    Detector
+	fstats filterStatser // det, when it exposes ADOS counters (else nil)
+
+	observed atomic.Uint64 // successfully scored observations
+	warmups  atomic.Uint64 // scored observations still in warm-up
+	detected atomic.Uint64 // anomaly verdicts
+	dropped  atomic.Uint64 // observations shed under DropNewest
+	errors   atomic.Uint64 // detector errors
+	filtered atomic.Uint64 // ADOS decisions made without the exact REIA
+	pending  atomic.Int64  // enqueued but not yet executed
+}
+
+// shard is one worker goroutine and its ingest queue.
+type shard struct {
+	index int
+	queue chan job
+}
+
+// ChannelStats is a point-in-time snapshot of one channel's counters.
+type ChannelStats struct {
+	// Channel is the channel id; Shard is the owning shard index.
+	Channel string `json:"channel"`
+	Shard   int    `json:"shard"`
+	// Observed counts successfully scored observations, of which Warmups
+	// were still inside the q-segment warm-up window.
+	Observed uint64 `json:"observed"`
+	Warmups  uint64 `json:"warmups"`
+	// Detected counts anomaly verdicts.
+	Detected uint64 `json:"detected"`
+	// Filtered counts ADOS decisions reached from bounds alone (no exact
+	// REIA computation); zero for detectors without ADOS counters.
+	Filtered uint64 `json:"filtered"`
+	// Dropped counts observations shed under the DropNewest policy.
+	Dropped uint64 `json:"dropped"`
+	// Errors counts detector failures.
+	Errors uint64 `json:"errors"`
+	// QueueDepth is the number of this channel's observations enqueued but
+	// not yet executed.
+	QueueDepth int64 `json:"queue_depth"`
+}
+
+// PoolStats aggregates the pool.
+type PoolStats struct {
+	// Channels is the number of attached channels; Shards echoes the
+	// configuration.
+	Channels int `json:"channels"`
+	Shards   int `json:"shards"`
+	// Observed/Detected/Dropped/Errors are sums over all channels.
+	Observed uint64 `json:"observed"`
+	Detected uint64 `json:"detected"`
+	Dropped  uint64 `json:"dropped"`
+	Errors   uint64 `json:"errors"`
+	// QueueDepths is the current length of each shard's ingest queue.
+	QueueDepths []int `json:"queue_depths"`
+}
+
+// DetectorPool is a sharded multi-channel detection service. All methods
+// are safe for concurrent use.
+type DetectorPool struct {
+	cfg    Config
+	shards []*shard
+	wg     sync.WaitGroup
+
+	mu       sync.RWMutex
+	channels map[string]*channel
+	closed   bool
+}
+
+// NewDetectorPool starts the shard workers and returns an empty pool.
+// Close must be called to release them.
+func NewDetectorPool(cfg Config) (*DetectorPool, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	p := &DetectorPool{cfg: cfg, channels: make(map[string]*channel)}
+	for i := 0; i < cfg.Shards; i++ {
+		s := &shard{index: i, queue: make(chan job, cfg.QueueDepth)}
+		p.shards = append(p.shards, s)
+		p.wg.Add(1)
+		go p.runShard(s)
+	}
+	return p, nil
+}
+
+// runShard executes the channel-confined detection loop of one shard: it
+// alone calls Observe on the detectors of the channels hashed to it, which
+// is what makes the single-writer Detector safe under a concurrent pool.
+func (p *DetectorPool) runShard(s *shard) {
+	defer p.wg.Done()
+	for j := range s.queue {
+		j.ch.pending.Add(-1)
+		res, err := j.ch.det.Observe(j.action, j.audience)
+		switch {
+		case err != nil:
+			j.ch.errors.Add(1)
+		case res.Warmup:
+			j.ch.observed.Add(1)
+			j.ch.warmups.Add(1)
+		default:
+			j.ch.observed.Add(1)
+			if res.Anomaly {
+				j.ch.detected.Add(1)
+			}
+		}
+		if j.ch.fstats != nil && err == nil {
+			j.ch.filtered.Store(uint64(j.ch.fstats.FilterStats().FilteredTotal()))
+		}
+		j.out <- Outcome{Result: res, Err: err}
+	}
+}
+
+// shardFor hashes a channel id onto a shard.
+func (p *DetectorPool) shardFor(id string) *shard {
+	h := fnv.New32a()
+	h.Write([]byte(id))
+	return p.shards[int(h.Sum32())%len(p.shards)]
+}
+
+// Attach registers a channel under id, transferring ownership of det to
+// the pool: from now on only the channel's shard worker calls Observe on
+// it. Attaching an existing id fails with ErrChannelExists.
+func (p *DetectorPool) Attach(id string, det Detector) error {
+	if id == "" {
+		return fmt.Errorf("serve: empty channel id")
+	}
+	if det == nil {
+		return fmt.Errorf("serve: nil detector for channel %q", id)
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return ErrClosed
+	}
+	if _, ok := p.channels[id]; ok {
+		return fmt.Errorf("%w: %q", ErrChannelExists, id)
+	}
+	fs, _ := det.(filterStatser)
+	p.channels[id] = &channel{id: id, shard: p.shardFor(id), det: det, fstats: fs}
+	return nil
+}
+
+// Detach removes the channel. Observations already queued still execute;
+// new submissions fail with ErrUnknownChannel.
+func (p *DetectorPool) Detach(id string) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return ErrClosed
+	}
+	if _, ok := p.channels[id]; !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownChannel, id)
+	}
+	delete(p.channels, id)
+	return nil
+}
+
+// Channels returns the attached channel ids, sorted.
+func (p *DetectorPool) Channels() []string {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	out := make([]string, 0, len(p.channels))
+	for id := range p.channels {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Submit enqueues one observation for the channel and returns a buffered
+// receive-only outcome channel that delivers exactly one Outcome. Under the
+// Block policy Submit waits for queue space; under DropNewest a full queue
+// fails fast with ErrOverloaded and increments the channel's drop counter.
+//
+// The caller must treat the feature slices as frozen until the outcome is
+// delivered (the pool does not copy them).
+func (p *DetectorPool) Submit(id string, actionFeat, audienceFeat []float64) (<-chan Outcome, error) {
+	// The read lock spans the queue send: Close takes the write lock, so a
+	// blocked sender holds Close off while the shard workers drain the
+	// queue it is waiting on — backpressure without lost observations.
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	if p.closed {
+		return nil, ErrClosed
+	}
+	ch, ok := p.channels[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownChannel, id)
+	}
+	j := job{ch: ch, action: actionFeat, audience: audienceFeat, out: make(chan Outcome, 1)}
+	// The gauge is raised before the send so the worker's decrement can
+	// never observe it at zero.
+	ch.pending.Add(1)
+	if p.cfg.Policy == DropNewest {
+		select {
+		case ch.shard.queue <- j:
+		default:
+			ch.pending.Add(-1)
+			ch.dropped.Add(1)
+			return nil, fmt.Errorf("%w (channel %q, shard %d)", ErrOverloaded, id, ch.shard.index)
+		}
+	} else {
+		ch.shard.queue <- j
+	}
+	return j.out, nil
+}
+
+// Observe submits one observation and waits for its verdict — the
+// synchronous convenience over Submit.
+func (p *DetectorPool) Observe(id string, actionFeat, audienceFeat []float64) (aovlis.Result, error) {
+	out, err := p.Submit(id, actionFeat, audienceFeat)
+	if err != nil {
+		return aovlis.Result{}, err
+	}
+	o := <-out
+	return o.Result, o.Err
+}
+
+// Stats snapshots one channel's counters.
+func (p *DetectorPool) Stats(id string) (ChannelStats, error) {
+	p.mu.RLock()
+	ch, ok := p.channels[id]
+	p.mu.RUnlock()
+	if !ok {
+		return ChannelStats{}, fmt.Errorf("%w: %q", ErrUnknownChannel, id)
+	}
+	return ch.snapshot(), nil
+}
+
+// snapshot reads the channel counters atomically (each counter individually;
+// the set is eventually consistent while the shard works).
+func (c *channel) snapshot() ChannelStats {
+	return ChannelStats{
+		Channel:    c.id,
+		Shard:      c.shard.index,
+		Observed:   c.observed.Load(),
+		Warmups:    c.warmups.Load(),
+		Detected:   c.detected.Load(),
+		Filtered:   c.filtered.Load(),
+		Dropped:    c.dropped.Load(),
+		Errors:     c.errors.Load(),
+		QueueDepth: c.pending.Load(),
+	}
+}
+
+// AllStats snapshots every channel, sorted by id.
+func (p *DetectorPool) AllStats() []ChannelStats {
+	p.mu.RLock()
+	chans := make([]*channel, 0, len(p.channels))
+	for _, ch := range p.channels {
+		chans = append(chans, ch)
+	}
+	p.mu.RUnlock()
+	out := make([]ChannelStats, 0, len(chans))
+	for _, ch := range chans {
+		out = append(out, ch.snapshot())
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Channel < out[j].Channel })
+	return out
+}
+
+// PoolStats aggregates all channels plus the live shard queue lengths.
+func (p *DetectorPool) PoolStats() PoolStats {
+	st := PoolStats{Shards: p.cfg.Shards, QueueDepths: make([]int, len(p.shards))}
+	for i, s := range p.shards {
+		st.QueueDepths[i] = len(s.queue)
+	}
+	for _, cs := range p.AllStats() {
+		st.Channels++
+		st.Observed += cs.Observed
+		st.Detected += cs.Detected
+		st.Dropped += cs.Dropped
+		st.Errors += cs.Errors
+	}
+	return st
+}
+
+// Close stops accepting observations, drains every shard queue (queued
+// observations still execute and deliver their outcomes) and waits for the
+// workers to exit. Close is idempotent; later calls return ErrClosed.
+func (p *DetectorPool) Close() error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return ErrClosed
+	}
+	p.closed = true
+	p.mu.Unlock()
+	// No Submit can be mid-send now: senders hold the read lock across the
+	// send, and the write lock above waited them out.
+	for _, s := range p.shards {
+		close(s.queue)
+	}
+	p.wg.Wait()
+	return nil
+}

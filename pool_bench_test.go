@@ -1,0 +1,123 @@
+package aovlis_test
+
+// Pool-throughput benchmark for the multi-channel serving layer
+// (internal/serve). It lives in the external test package because
+// internal/serve imports aovlis: an in-package benchmark (bench_test.go)
+// would form an import cycle.
+//
+// Run it with
+//
+//	go test -bench BenchmarkPoolThroughput -benchtime 2s
+//
+// and read the segments/s metric: one trained detector cloned over 16
+// channels, driven synchronously from GOMAXPROCS producer goroutines, at
+// 1, 4 and 8 shards.
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"aovlis"
+	"aovlis/internal/dataset"
+	"aovlis/internal/serve"
+	"aovlis/internal/synth"
+)
+
+// poolBench caches the expensive fixture (dataset + trained template)
+// across the shard-count sub-benchmarks.
+var poolBench struct {
+	once     sync.Once
+	err      error
+	template *aovlis.Detector
+	actions  [][]float64
+	audience [][]float64
+}
+
+func poolBenchFixture() error {
+	poolBench.once.Do(func() {
+		dcfg := dataset.DefaultConfig(synth.INF())
+		dcfg.TrainSec, dcfg.TestSec = 240, 240
+		dcfg.Classes = 48
+		ds, err := dataset.Build(dcfg)
+		if err != nil {
+			poolBench.err = err
+			return
+		}
+		cfg := aovlis.DefaultConfig(48, dcfg.Audience.Dim())
+		cfg.Epochs = 4
+		det, err := aovlis.Train(ds.TrainActions, ds.TrainAudience, cfg)
+		if err != nil {
+			poolBench.err = err
+			return
+		}
+		poolBench.template = det
+		poolBench.actions = ds.TestActions
+		poolBench.audience = ds.TestAudience
+	})
+	return poolBench.err
+}
+
+// BenchmarkPoolThroughput measures end-to-end pool throughput
+// (segments/sec) against shard count.
+func BenchmarkPoolThroughput(b *testing.B) {
+	for _, shards := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			benchmarkPoolThroughput(b, shards)
+		})
+	}
+}
+
+func benchmarkPoolThroughput(b *testing.B, shards int) {
+	if err := poolBenchFixture(); err != nil {
+		b.Fatal(err)
+	}
+	const channels = 16
+	pool, err := serve.NewDetectorPool(serve.Config{Shards: shards, QueueDepth: 1024, Policy: serve.Block})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer pool.Close()
+	ids := make([]string, channels)
+	for i := range ids {
+		ids[i] = fmt.Sprintf("bench-%02d", i)
+		det, err := poolBench.template.Clone()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := pool.Attach(ids[i], det); err != nil {
+			b.Fatal(err)
+		}
+		// Warm each channel past the q-segment window so the benchmark
+		// measures scored segments only.
+		for w := 0; w < 9; w++ {
+			if _, err := pool.Observe(ids[i], poolBench.actions[w], poolBench.audience[w]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+
+	n := len(poolBench.actions)
+	var next atomic.Uint64
+	var failed atomic.Value
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			i := next.Add(1)
+			idx := 9 + int(i)%(n-9)
+			if _, err := pool.Observe(ids[int(i)%channels], poolBench.actions[idx], poolBench.audience[idx]); err != nil {
+				failed.Store(err)
+				return
+			}
+		}
+	})
+	b.StopTimer()
+	if err, ok := failed.Load().(error); ok {
+		b.Fatal(err)
+	}
+	if sec := b.Elapsed().Seconds(); sec > 0 {
+		b.ReportMetric(float64(b.N)/sec, "segments/s")
+	}
+}
