@@ -1,0 +1,118 @@
+package aovlis
+
+// Allocation-regression tests for the Observe/train hot path. The arena +
+// tape-reuse design (see ARCHITECTURE.md) makes steady-state detection and
+// training allocation-free; these tests pin that property with
+// testing.AllocsPerRun so any regression fails deterministically — CI runs
+// them in the bench-smoke job (see .github/workflows/ci.yml). The paired
+// benchmarks (BenchmarkObserveAllocs, BenchmarkTrainStepAllocs in
+// bench_test.go) report the same quantity for benchstat comparisons; see
+// BENCH.md for the recorded baseline.
+
+import (
+	"math/rand"
+	"testing"
+
+	"aovlis/internal/core"
+	"aovlis/internal/mat"
+)
+
+// allocFixtureSeries builds a small deterministic normal feature series.
+func allocFixtureSeries(n int) (actions, audience [][]float64) {
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < n; i++ {
+		f := make([]float64, 16)
+		f[(i/3)%8] = 1
+		for j := range f {
+			f[j] += 0.02 + 0.01*rng.Float64()
+		}
+		mat.Normalize(f)
+		a := make([]float64, 6)
+		for j := range a {
+			a[j] = 0.3 + 0.03*rng.NormFloat64()
+		}
+		actions = append(actions, f)
+		audience = append(audience, a)
+	}
+	return actions, audience
+}
+
+func allocFixtureDetector(tb testing.TB, useADOS bool) (*Detector, [][]float64, [][]float64) {
+	tb.Helper()
+	actions, audience := allocFixtureSeries(90)
+	cfg := DefaultConfig(16, 6)
+	cfg.HiddenI, cfg.HiddenA = 12, 8
+	cfg.SeqLen = 4
+	cfg.Epochs = 3
+	cfg.UseADOS = useADOS
+	det, err := Train(actions, audience, cfg)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	// Warm past the q-segment window AND through one full scored pass so the
+	// tape's node pool, the arena free lists and the ADG scratch are sized.
+	for i := 0; i < cfg.SeqLen+4; i++ {
+		if _, err := det.Observe(actions[i], audience[i]); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	return det, actions, audience
+}
+
+// TestObserveSteadyStateAllocs pins the tentpole property: a steady-state
+// Detector.Observe performs zero heap allocations per segment (1655 at the
+// PR-2 baseline).
+func TestObserveSteadyStateAllocs(t *testing.T) {
+	for _, mode := range []struct {
+		name    string
+		useADOS bool
+	}{{"ADOS", true}, {"Exact", false}} {
+		t.Run(mode.name, func(t *testing.T) {
+			det, actions, audience := allocFixtureDetector(t, mode.useADOS)
+			i := 0
+			n := testing.AllocsPerRun(200, func() {
+				idx := 8 + i%(len(actions)-8)
+				i++
+				if _, err := det.Observe(actions[idx], audience[idx]); err != nil {
+					t.Fatal(err)
+				}
+			})
+			if n > 0 {
+				t.Fatalf("steady-state Observe allocates %v times per segment, want 0", n)
+			}
+		})
+	}
+}
+
+// TestTrainStepSteadyStateAllocs pins the training-side property: a
+// steady-state Model.TrainStep performs zero heap allocations.
+func TestTrainStepSteadyStateAllocs(t *testing.T) {
+	actions, audience := allocFixtureSeries(30)
+	mcfg := core.DefaultConfig(16, 6)
+	mcfg.HiddenI, mcfg.HiddenA = 12, 8
+	mcfg.SeqLen = 4
+	model, err := core.NewModel(mcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples, err := core.BuildSamples(actions, audience, mcfg.SeqLen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Warm: first steps size the tape pool, arena and Adam moment maps.
+	for i := 0; i < 3; i++ {
+		if _, err := model.TrainStep(&samples[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	i := 0
+	n := testing.AllocsPerRun(100, func() {
+		if _, err := model.TrainStep(&samples[i%len(samples)]); err != nil {
+			t.Fatal(err)
+		}
+		i++
+	})
+	if n > 0 {
+		t.Fatalf("steady-state TrainStep allocates %v times per step, want 0", n)
+	}
+}

@@ -153,6 +153,11 @@ type Detector struct {
 	actWin [][]float64
 	audWin [][]float64
 
+	// fhatBuf/ahatBuf are reused prediction buffers: Observe routes through
+	// Model.PredictInto so the steady-state hot path allocates nothing.
+	fhatBuf []float64
+	ahatBuf []float64
+
 	observed int
 	detected int
 
@@ -246,7 +251,10 @@ func (d *Detector) SetTau(tau float64) error {
 	return nil
 }
 
-// Model exposes the underlying CLSTM (read-mostly; used by experiments).
+// Model exposes the underlying CLSTM (used by experiments). The model owns
+// a reused autodiff tape, so even read-shaped calls like Predict or Hidden
+// mutate per-step state: treat Model access as writer activity under the
+// detector's single-writer contract and never overlap it with Observe.
 func (d *Detector) Model() *core.Model { return d.model }
 
 // FilterStats returns the ADOS filter activity counters.
@@ -282,6 +290,10 @@ func (d *Detector) Observe(actionFeat, audienceFeat []float64) (Result, error) {
 		return Result{Warmup: true}, nil
 	}
 
+	if d.fhatBuf == nil {
+		d.fhatBuf = make([]float64, d.cfg.ActionDim)
+		d.ahatBuf = make([]float64, d.cfg.AudienceDim)
+	}
 	sample := core.Sample{
 		ActionSeq:      d.actWin,
 		AudienceSeq:    d.audWin,
@@ -289,11 +301,10 @@ func (d *Detector) Observe(actionFeat, audienceFeat []float64) (Result, error) {
 		AudienceTarget: audienceFeat,
 		Index:          d.observed - 1,
 	}
-	fhat, ahat, err := d.model.Predict(&sample)
-	if err != nil {
+	if err := d.model.PredictInto(&sample, d.fhatBuf, d.ahatBuf); err != nil {
 		return Result{}, err
 	}
-	fres, err := d.filter.Decide(actionFeat, fhat, audienceFeat, ahat)
+	fres, err := d.filter.Decide(actionFeat, d.fhatBuf, audienceFeat, d.ahatBuf)
 	if err != nil {
 		return Result{}, err
 	}
@@ -328,10 +339,14 @@ func (d *Detector) Observe(actionFeat, audienceFeat []float64) (Result, error) {
 		res.Updated = upRes.Updated
 	}
 
-	// Slide the window with fresh headers (keeps buffered samples stable
-	// and avoids unbounded backing-array growth on long streams).
-	d.actWin = slideWindow(d.actWin, actionFeat)
-	d.audWin = slideWindow(d.audWin, audienceFeat)
+	// Slide the window in place (allocation-free): only the window's own
+	// header array mutates. Buffered update samples stay stable because
+	// copyWindow gave them their own header arrays, and the per-segment
+	// feature rows themselves are never written.
+	copy(d.actWin, d.actWin[1:])
+	d.actWin[len(d.actWin)-1] = actionFeat
+	copy(d.audWin, d.audWin[1:])
+	d.audWin[len(d.audWin)-1] = audienceFeat
 	return res, nil
 }
 
@@ -340,15 +355,6 @@ func (d *Detector) Observe(actionFeat, audienceFeat []float64) (Result, error) {
 func copyWindow(w [][]float64) [][]float64 {
 	out := make([][]float64, len(w))
 	copy(out, w)
-	return out
-}
-
-// slideWindow drops the oldest feature and appends the newest into a fresh
-// backing array of the same length.
-func slideWindow(w [][]float64, next []float64) [][]float64 {
-	out := make([][]float64, len(w))
-	copy(out, w[1:])
-	out[len(out)-1] = next
 	return out
 }
 

@@ -18,6 +18,7 @@ package aovlis
 import (
 	"testing"
 
+	"aovlis/internal/core"
 	"aovlis/internal/dataset"
 	"aovlis/internal/experiments"
 	"aovlis/internal/feature"
@@ -146,6 +147,52 @@ func BenchmarkDetectorObserveADOS(b *testing.B) { benchmarkDetector(b, true) }
 // BenchmarkDetectorObserveExact measures the per-segment cost with the
 // exact REIA computed for every segment (no bounds).
 func BenchmarkDetectorObserveExact(b *testing.B) { benchmarkDetector(b, false) }
+
+// BenchmarkObserveAllocs measures the steady-state per-segment allocation
+// profile of Detector.Observe on a small fixture (read the allocs/op and
+// B/op columns; TestObserveSteadyStateAllocs pins them at zero). Compare
+// runs with benchstat as described in BENCH.md.
+func BenchmarkObserveAllocs(b *testing.B) {
+	det, actions, audience := allocFixtureDetector(b, true)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		idx := 8 + i%(len(actions)-8)
+		if _, err := det.Observe(actions[idx], audience[idx]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTrainStepAllocs measures the steady-state per-step allocation
+// profile of CLSTM training (TestTrainStepSteadyStateAllocs pins it at
+// zero).
+func BenchmarkTrainStepAllocs(b *testing.B) {
+	actions, audience := allocFixtureSeries(30)
+	mcfg := core.DefaultConfig(16, 6)
+	mcfg.HiddenI, mcfg.HiddenA = 12, 8
+	mcfg.SeqLen = 4
+	model, err := core.NewModel(mcfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	samples, err := core.BuildSamples(actions, audience, mcfg.SeqLen)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 3; i++ { // warm tape pool, arena, Adam moments
+		if _, err := model.TrainStep(&samples[i]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := model.TrainStep(&samples[i%len(samples)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
 
 // BenchmarkTrainDetector measures full detector training at quick scale.
 func BenchmarkTrainDetector(b *testing.B) {

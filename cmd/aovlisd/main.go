@@ -13,6 +13,8 @@
 //	GET  /channels/{id}/stats     per-channel counters as JSON
 //	GET  /channels                all channels' counters as JSON
 //	GET  /healthz                 liveness + pool totals
+//	GET  /debug/pprof/*           with -pprof: CPU/heap/alloc/trace profiles
+//	                              (BENCH.md §4)
 //
 // Usage:
 //
@@ -32,6 +34,7 @@ import (
 	"flag"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -58,18 +61,19 @@ func main() {
 		queueDepth  = flag.Int("queue", 256, "per-shard ingest queue depth")
 		policyName  = flag.String("policy", "block", "queue overflow policy: block or drop")
 		maxChannels = flag.Int("max-channels", 1024, "maximum concurrently attached channels")
+		enablePprof = flag.Bool("pprof", false, "serve /debug/pprof profiling endpoints (BENCH.md §4); exposes process internals, enable only on trusted listeners")
 	)
 	flag.Parse()
 
 	if err := run(*addr, *presetName, *trainSec, *classes, *epochs, *seed, *loadPath,
-		*shards, *queueDepth, *policyName, *maxChannels); err != nil {
+		*shards, *queueDepth, *policyName, *maxChannels, *enablePprof); err != nil {
 		fmt.Fprintln(os.Stderr, "aovlisd:", err)
 		os.Exit(1)
 	}
 }
 
 func run(addr, presetName string, trainSec, classes, epochs int, seed int64, loadPath string,
-	shards, queueDepth int, policyName string, maxChannels int) error {
+	shards, queueDepth int, policyName string, maxChannels int, enablePprof bool) error {
 	policy, err := serve.ParsePolicy(policyName)
 	if err != nil {
 		return err
@@ -88,6 +92,17 @@ func run(addr, presetName string, trainSec, classes, epochs int, seed int64, loa
 	mux.HandleFunc("/healthz", d.handleHealth)
 	mux.HandleFunc("/channels", d.handleList)
 	mux.HandleFunc("/channels/", d.handleChannel)
+	if enablePprof {
+		// Profiling endpoints: the perf methodology in BENCH.md captures
+		// CPU, heap, allocation and execution-trace profiles against a live
+		// daemon. Opt-in because profiles leak process internals and a
+		// repeated /profile capture degrades detection latency.
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	srv := &http.Server{Addr: addr, Handler: mux}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

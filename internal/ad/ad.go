@@ -16,6 +16,20 @@
 //	y := tp.Tanh(tp.MatMul(x, w))  // forward graph
 //	loss := tp.Mean(tp.Square(y))
 //	tp.Backward(loss)              // w.Grad now holds dLoss/dW
+//
+// # Reuse
+//
+// A tape owns a mat.Arena and recycles everything — node structs, value
+// matrices, gradient matrices — across steps. Call Reset at the start of
+// each training/inference step and re-record the forward pass; in steady
+// state the whole forward+backward cycle performs zero heap allocations.
+// Nodes and the matrices behind their Value/Grad fields are only valid
+// until the next Reset: copy results out (or apply the optimiser update)
+// before resetting. Parameter matrices passed to Var are caller-owned and
+// never recycled. See ExampleTape_reuse for the full contract.
+//
+// A Tape is not safe for concurrent use; build (or confine) one per
+// goroutine.
 package ad
 
 import (
@@ -29,14 +43,43 @@ import (
 // probability vectors that may contain exact zeros.
 const logEps = 1e-12
 
+// opKind identifies the operator that produced a node; Backward dispatches
+// on it instead of per-node closures so a reused tape records no new heap
+// objects.
+type opKind uint8
+
+const (
+	opLeaf opKind = iota
+	opAdd
+	opSub
+	opMul
+	opScale
+	opMatMul
+	opConcat
+	opSlice
+	opSigmoid
+	opTanh
+	opReLU
+	opLog
+	opSoftmax
+	opSum
+)
+
 // Node is one vertex of the computation graph. Value is the forward result;
 // Grad accumulates the derivative of the scalar output with respect to Value
-// during Backward. Grad is nil for constants.
+// during Backward. Grad is nil for constants. Nodes are owned by their tape
+// and recycled by Reset.
 type Node struct {
 	Value *mat.Matrix
 	Grad  *mat.Matrix
-	back  func()
-	leaf  bool
+
+	op   opKind
+	a, b *Node   // unary/binary operands
+	ps   []*Node // ConcatCols operands (capacity reused across Reset)
+	s    float64 // Scale factor
+	lo   int     // SliceCols bounds
+	hi   int
+	leaf bool
 }
 
 // IsLeaf reports whether the node was created by Var or Const.
@@ -44,44 +87,87 @@ func (n *Node) IsLeaf() bool { return n.leaf }
 
 // Tape records the forward computation in execution order so Backward can
 // replay it in reverse. A Tape is not safe for concurrent use; build one per
-// goroutine / training step.
+// goroutine, or reuse one across sequential steps via Reset.
 type Tape struct {
-	nodes []*Node
+	arena *mat.Arena
+	nodes []*Node // node pool in recorded order; nodes[:used] are live
+	used  int
 }
 
-// NewTape returns an empty tape.
-func NewTape() *Tape { return &Tape{} }
+// NewTape returns an empty tape with its own arena.
+func NewTape() *Tape { return &Tape{arena: mat.NewArena()} }
+
+// Reset reclaims every node and every arena-backed matrix recorded since
+// the last Reset, making the tape ready to record a fresh step. All nodes
+// previously returned by this tape (and their Value/Grad matrices, except
+// caller-owned Var values) become invalid.
+func (t *Tape) Reset() {
+	t.used = 0
+	t.arena.Reset()
+}
+
+// Arena exposes the tape's arena so model code can borrow step-scoped
+// scratch matrices that share the tape's lifecycle.
+func (t *Tape) Arena() *mat.Arena { return t.arena }
 
 // Len returns the number of recorded nodes (useful for testing and for
 // reasoning about graph size).
-func (t *Tape) Len() int { return len(t.nodes) }
+func (t *Tape) Len() int { return t.used }
 
-func (t *Tape) push(n *Node) *Node {
-	t.nodes = append(t.nodes, n)
+// alloc returns a cleared node, recycling the pool before growing it.
+func (t *Tape) alloc() *Node {
+	var n *Node
+	if t.used < len(t.nodes) {
+		n = t.nodes[t.used]
+		n.Value, n.Grad, n.a, n.b = nil, nil, nil, nil
+		n.ps = n.ps[:0]
+		n.s = 0
+		n.lo, n.hi = 0, 0
+		n.op, n.leaf = opLeaf, false
+	} else {
+		n = &Node{}
+		t.nodes = append(t.nodes, n)
+	}
+	t.used++
 	return n
 }
 
 // Var registers v as a trainable leaf. The matrix is NOT copied: the caller
-// owns the storage (parameters update in place between steps).
+// owns the storage (parameters update in place between steps). Grad is a
+// fresh zeroed matrix from the tape's arena.
 func (t *Tape) Var(v *mat.Matrix) *Node {
-	return t.push(&Node{Value: v, Grad: mat.New(v.Rows, v.Cols), leaf: true})
+	n := t.alloc()
+	n.leaf = true
+	n.Value = v
+	n.Grad = t.arena.Get(v.Rows, v.Cols)
+	return n
 }
 
 // Const registers v as a non-trainable leaf. No gradient is accumulated.
 func (t *Tape) Const(v *mat.Matrix) *Node {
-	return t.push(&Node{Value: v, leaf: true})
+	n := t.alloc()
+	n.leaf = true
+	n.Value = v
+	return n
 }
 
-// accum adds g into n.Grad, allocating it on first touch. Constants are
-// skipped entirely.
-func accum(n *Node, g *mat.Matrix) {
+// ConstVector registers data as a non-trainable 1 × len(data) row-vector
+// leaf without copying it and without allocating: the matrix header comes
+// from the arena. This is how the model forward pass feeds per-segment
+// features into the graph allocation-free.
+func (t *Tape) ConstVector(data []float64) *Node {
+	n := t.alloc()
+	n.leaf = true
+	n.Value = t.arena.Wrap(1, len(data), data)
+	return n
+}
+
+// grad returns n.Grad, allocating it zeroed from the arena on first touch.
+func (t *Tape) grad(n *Node) *mat.Matrix {
 	if n.Grad == nil {
-		if n.leaf {
-			return // constant
-		}
-		n.Grad = mat.New(n.Value.Rows, n.Value.Cols)
+		n.Grad = t.arena.Get(n.Value.Rows, n.Value.Cols)
 	}
-	mat.AddInto(n.Grad, g)
+	return n.Grad
 }
 
 // needsGrad reports whether gradient flow into n is useful.
@@ -89,76 +175,47 @@ func needsGrad(n *Node) bool { return !n.leaf || n.Grad != nil }
 
 // Add returns a + b.
 func (t *Tape) Add(a, b *Node) *Node {
-	out := &Node{Value: mat.Add(a.Value, b.Value)}
-	out.back = func() {
-		if needsGrad(a) {
-			accum(a, out.Grad)
-		}
-		if needsGrad(b) {
-			accum(b, out.Grad)
-		}
-	}
-	return t.push(out)
+	n := t.alloc()
+	n.op, n.a, n.b = opAdd, a, b
+	n.Value = t.arena.GetUninit(a.Value.Rows, a.Value.Cols)
+	mat.AddTo(n.Value, a.Value, b.Value)
+	return n
 }
 
 // Sub returns a - b.
 func (t *Tape) Sub(a, b *Node) *Node {
-	out := &Node{Value: mat.Sub(a.Value, b.Value)}
-	out.back = func() {
-		if needsGrad(a) {
-			accum(a, out.Grad)
-		}
-		if needsGrad(b) {
-			accum(b, mat.Scale(-1, out.Grad))
-		}
-	}
-	return t.push(out)
+	n := t.alloc()
+	n.op, n.a, n.b = opSub, a, b
+	n.Value = t.arena.GetUninit(a.Value.Rows, a.Value.Cols)
+	mat.SubTo(n.Value, a.Value, b.Value)
+	return n
 }
 
 // Mul returns the elementwise product a ⊙ b.
 func (t *Tape) Mul(a, b *Node) *Node {
-	out := &Node{Value: mat.Mul(a.Value, b.Value)}
-	out.back = func() {
-		if needsGrad(a) {
-			accum(a, mat.Mul(out.Grad, b.Value))
-		}
-		if needsGrad(b) {
-			accum(b, mat.Mul(out.Grad, a.Value))
-		}
-	}
-	return t.push(out)
+	n := t.alloc()
+	n.op, n.a, n.b = opMul, a, b
+	n.Value = t.arena.GetUninit(a.Value.Rows, a.Value.Cols)
+	mat.MulTo(n.Value, a.Value, b.Value)
+	return n
 }
 
 // Scale returns s·a for a fixed scalar s.
 func (t *Tape) Scale(s float64, a *Node) *Node {
-	out := &Node{Value: mat.Scale(s, a.Value)}
-	out.back = func() {
-		if needsGrad(a) {
-			accum(a, mat.Scale(s, out.Grad))
-		}
-	}
-	return t.push(out)
+	n := t.alloc()
+	n.op, n.a, n.s = opScale, a, s
+	n.Value = t.arena.GetUninit(a.Value.Rows, a.Value.Cols)
+	mat.ScaleTo(n.Value, s, a.Value)
+	return n
 }
 
 // MatMul returns the matrix product a·b.
 func (t *Tape) MatMul(a, b *Node) *Node {
-	out := &Node{Value: mat.MatMul(a.Value, b.Value)}
-	out.back = func() {
-		// dL/dA = dL/dOut · Bᵀ ; dL/dB = Aᵀ · dL/dOut
-		if needsGrad(a) {
-			if a.Grad == nil {
-				a.Grad = mat.New(a.Value.Rows, a.Value.Cols)
-			}
-			mat.MatMulBTInto(a.Grad, out.Grad, b.Value)
-		}
-		if needsGrad(b) {
-			if b.Grad == nil {
-				b.Grad = mat.New(b.Value.Rows, b.Value.Cols)
-			}
-			mat.MatMulATInto(b.Grad, a.Value, out.Grad)
-		}
-	}
-	return t.push(out)
+	n := t.alloc()
+	n.op, n.a, n.b = opMatMul, a, b
+	n.Value = t.arena.GetUninit(a.Value.Rows, b.Value.Cols)
+	mat.MatMulTo(n.Value, a.Value, b.Value)
+	return n
 }
 
 // ConcatCols returns the column-wise concatenation [a₁ | a₂ | ...]. All
@@ -168,26 +225,25 @@ func (t *Tape) ConcatCols(parts ...*Node) *Node {
 	if len(parts) == 0 {
 		panic("ad: ConcatCols needs at least one input")
 	}
-	v := parts[0].Value
-	for _, p := range parts[1:] {
-		v = mat.ConcatCols(v, p.Value)
+	n := t.alloc()
+	n.op = opConcat
+	n.ps = append(n.ps, parts...)
+	rows, cols := parts[0].Value.Rows, 0
+	for _, p := range parts {
+		cols += p.Value.Cols
 	}
-	out := &Node{Value: v}
-	out.back = func() {
-		off := 0
-		for _, p := range parts {
-			w := p.Value.Cols
-			if needsGrad(p) {
-				g := mat.New(p.Value.Rows, w)
-				for i := 0; i < p.Value.Rows; i++ {
-					copy(g.Row(i), out.Grad.Row(i)[off:off+w])
-				}
-				accum(p, g)
-			}
-			off += w
+	n.Value = t.arena.GetUninit(rows, cols)
+	off := 0
+	for _, p := range parts {
+		if p.Value.Rows != rows {
+			panic(fmt.Sprintf("ad: ConcatCols row mismatch %d vs %d", rows, p.Value.Rows))
 		}
+		for i := 0; i < rows; i++ {
+			copy(n.Value.Row(i)[off:off+p.Value.Cols], p.Value.Row(i))
+		}
+		off += p.Value.Cols
 	}
-	return t.push(out)
+	return n
 }
 
 // SliceCols returns columns [from, to) of a as a new node.
@@ -195,97 +251,52 @@ func (t *Tape) SliceCols(a *Node, from, to int) *Node {
 	if from < 0 || to > a.Value.Cols || from >= to {
 		panic(fmt.Sprintf("ad: SliceCols[%d:%d] of %d cols", from, to, a.Value.Cols))
 	}
-	v := mat.New(a.Value.Rows, to-from)
-	for i := 0; i < a.Value.Rows; i++ {
-		copy(v.Row(i), a.Value.Row(i)[from:to])
-	}
-	out := &Node{Value: v}
-	out.back = func() {
-		if !needsGrad(a) {
-			return
-		}
-		g := mat.New(a.Value.Rows, a.Value.Cols)
-		for i := 0; i < a.Value.Rows; i++ {
-			copy(g.Row(i)[from:to], out.Grad.Row(i))
-		}
-		accum(a, g)
-	}
-	return t.push(out)
+	n := t.alloc()
+	n.op, n.a, n.lo, n.hi = opSlice, a, from, to
+	n.Value = t.arena.GetUninit(a.Value.Rows, to-from)
+	mat.SliceColsTo(n.Value, a.Value, from, to)
+	return n
 }
 
 // Sigmoid returns σ(a) elementwise.
 func (t *Tape) Sigmoid(a *Node) *Node {
-	v := mat.Apply(a.Value, func(x float64) float64 { return 1 / (1 + math.Exp(-x)) })
-	out := &Node{Value: v}
-	out.back = func() {
-		if !needsGrad(a) {
-			return
-		}
-		g := mat.New(v.Rows, v.Cols)
-		for i, s := range v.Data {
-			g.Data[i] = out.Grad.Data[i] * s * (1 - s)
-		}
-		accum(a, g)
-	}
-	return t.push(out)
+	n := t.alloc()
+	n.op, n.a = opSigmoid, a
+	n.Value = t.arena.GetUninit(a.Value.Rows, a.Value.Cols)
+	mat.ApplyTo(n.Value, a.Value, func(x float64) float64 { return 1 / (1 + math.Exp(-x)) })
+	return n
 }
 
 // Tanh returns tanh(a) elementwise.
 func (t *Tape) Tanh(a *Node) *Node {
-	v := mat.Apply(a.Value, math.Tanh)
-	out := &Node{Value: v}
-	out.back = func() {
-		if !needsGrad(a) {
-			return
-		}
-		g := mat.New(v.Rows, v.Cols)
-		for i, th := range v.Data {
-			g.Data[i] = out.Grad.Data[i] * (1 - th*th)
-		}
-		accum(a, g)
-	}
-	return t.push(out)
+	n := t.alloc()
+	n.op, n.a = opTanh, a
+	n.Value = t.arena.GetUninit(a.Value.Rows, a.Value.Cols)
+	mat.ApplyTo(n.Value, a.Value, math.Tanh)
+	return n
 }
 
 // ReLU returns max(0, a) elementwise.
 func (t *Tape) ReLU(a *Node) *Node {
-	v := mat.Apply(a.Value, func(x float64) float64 {
+	n := t.alloc()
+	n.op, n.a = opReLU, a
+	n.Value = t.arena.GetUninit(a.Value.Rows, a.Value.Cols)
+	mat.ApplyTo(n.Value, a.Value, func(x float64) float64 {
 		if x > 0 {
 			return x
 		}
 		return 0
 	})
-	out := &Node{Value: v}
-	out.back = func() {
-		if !needsGrad(a) {
-			return
-		}
-		g := mat.New(v.Rows, v.Cols)
-		for i := range v.Data {
-			if a.Value.Data[i] > 0 {
-				g.Data[i] = out.Grad.Data[i]
-			}
-		}
-		accum(a, g)
-	}
-	return t.push(out)
+	return n
 }
 
 // Log returns ln(a + ε) elementwise, with ε guarding zero probabilities.
 func (t *Tape) Log(a *Node) *Node {
-	v := mat.Apply(a.Value, func(x float64) float64 { return math.Log(x + logEps) })
-	out := &Node{Value: v}
-	out.back = func() {
-		if !needsGrad(a) {
-			return
-		}
-		g := mat.New(v.Rows, v.Cols)
-		for i, x := range a.Value.Data {
-			g.Data[i] = out.Grad.Data[i] / (x + logEps)
-		}
-		accum(a, g)
-	}
-	return t.push(out)
+	n := t.alloc()
+	n.op, n.a = opLog, a
+	n.Value = t.arena.GetUninit(a.Value.Rows, a.Value.Cols)
+	mat.ApplyTo(n.Value, a.Value, func(x float64) float64 { return math.Log(x + logEps) })
+	return n
 }
 
 // Square returns a ⊙ a.
@@ -295,45 +306,22 @@ func (t *Tape) Square(a *Node) *Node { return t.Mul(a, a) }
 // reconstructed action feature f̂ is a probability distribution, matching
 // the paper's JS-divergence scoring domain.
 func (t *Tape) Softmax(a *Node) *Node {
-	v := mat.New(a.Value.Rows, a.Value.Cols)
+	n := t.alloc()
+	n.op, n.a = opSoftmax, a
+	n.Value = t.arena.GetUninit(a.Value.Rows, a.Value.Cols)
 	for i := 0; i < a.Value.Rows; i++ {
-		copy(v.Row(i), mat.Softmax(a.Value.Row(i)))
+		mat.SoftmaxInto(n.Value.Row(i), a.Value.Row(i))
 	}
-	out := &Node{Value: v}
-	out.back = func() {
-		if !needsGrad(a) {
-			return
-		}
-		g := mat.New(v.Rows, v.Cols)
-		for i := 0; i < v.Rows; i++ {
-			srow, grow, orow := v.Row(i), g.Row(i), out.Grad.Row(i)
-			var dot float64
-			for j, s := range srow {
-				dot += orow[j] * s
-			}
-			for j, s := range srow {
-				grow[j] = s * (orow[j] - dot)
-			}
-		}
-		accum(a, g)
-	}
-	return t.push(out)
+	return n
 }
 
 // Sum reduces a to a 1x1 node holding the sum of all elements.
 func (t *Tape) Sum(a *Node) *Node {
-	v := mat.New(1, 1)
-	v.Data[0] = mat.Sum(a.Value)
-	out := &Node{Value: v}
-	out.back = func() {
-		if !needsGrad(a) {
-			return
-		}
-		g := mat.New(a.Value.Rows, a.Value.Cols)
-		g.Fill(out.Grad.Data[0])
-		accum(a, g)
-	}
-	return t.push(out)
+	n := t.alloc()
+	n.op, n.a = opSum, a
+	n.Value = t.arena.GetUninit(1, 1)
+	n.Value.Data[0] = mat.Sum(a.Value)
+	return n
 }
 
 // Mean reduces a to a 1x1 node holding the arithmetic mean of all elements.
@@ -345,6 +333,126 @@ func (t *Tape) Mean(a *Node) *Node {
 	return t.Scale(1/n, t.Sum(a))
 }
 
+// backstep propagates n's gradient into its operands. The arithmetic is the
+// fused equivalent of the original closure implementations: every operand
+// update performs the same floating-point operations in the same order, so
+// gradients are bitwise identical to the pre-opcode engine.
+func (t *Tape) backstep(n *Node) {
+	g := n.Grad
+	switch n.op {
+	case opAdd:
+		if needsGrad(n.a) {
+			mat.AddInto(t.grad(n.a), g)
+		}
+		if needsGrad(n.b) {
+			mat.AddInto(t.grad(n.b), g)
+		}
+	case opSub:
+		if needsGrad(n.a) {
+			mat.AddInto(t.grad(n.a), g)
+		}
+		if needsGrad(n.b) {
+			mat.AddScaledInto(t.grad(n.b), -1, g)
+		}
+	case opMul:
+		if needsGrad(n.a) {
+			mat.AddMulInto(t.grad(n.a), g, n.b.Value)
+		}
+		if needsGrad(n.b) {
+			mat.AddMulInto(t.grad(n.b), g, n.a.Value)
+		}
+	case opScale:
+		if needsGrad(n.a) {
+			mat.AddScaledInto(t.grad(n.a), n.s, g)
+		}
+	case opMatMul:
+		// dL/dA = dL/dOut · Bᵀ ; dL/dB = Aᵀ · dL/dOut
+		if needsGrad(n.a) {
+			mat.MatMulBTInto(t.grad(n.a), g, n.b.Value)
+		}
+		if needsGrad(n.b) {
+			mat.MatMulATInto(t.grad(n.b), n.a.Value, g)
+		}
+	case opConcat:
+		off := 0
+		for _, p := range n.ps {
+			w := p.Value.Cols
+			if needsGrad(p) {
+				pg := t.grad(p)
+				for i := 0; i < p.Value.Rows; i++ {
+					prow := pg.Row(i)
+					for j, v := range g.Row(i)[off : off+w] {
+						prow[j] += v
+					}
+				}
+			}
+			off += w
+		}
+	case opSlice:
+		if needsGrad(n.a) {
+			ag := t.grad(n.a)
+			for i := 0; i < n.Value.Rows; i++ {
+				arow := ag.Row(i)[n.lo:n.hi]
+				for j, v := range g.Row(i) {
+					arow[j] += v
+				}
+			}
+		}
+	case opSigmoid:
+		if needsGrad(n.a) {
+			ag := t.grad(n.a)
+			for i, s := range n.Value.Data {
+				ag.Data[i] += g.Data[i] * s * (1 - s)
+			}
+		}
+	case opTanh:
+		if needsGrad(n.a) {
+			ag := t.grad(n.a)
+			for i, th := range n.Value.Data {
+				ag.Data[i] += g.Data[i] * (1 - th*th)
+			}
+		}
+	case opReLU:
+		if needsGrad(n.a) {
+			ag := t.grad(n.a)
+			for i := range n.Value.Data {
+				if n.a.Value.Data[i] > 0 {
+					ag.Data[i] += g.Data[i]
+				}
+			}
+		}
+	case opLog:
+		if needsGrad(n.a) {
+			ag := t.grad(n.a)
+			for i, x := range n.a.Value.Data {
+				ag.Data[i] += g.Data[i] / (x + logEps)
+			}
+		}
+	case opSoftmax:
+		if needsGrad(n.a) {
+			ag := t.grad(n.a)
+			for i := 0; i < n.Value.Rows; i++ {
+				srow, grow, orow := n.Value.Row(i), ag.Row(i), g.Row(i)
+				var dot float64
+				for j, s := range srow {
+					dot += orow[j] * s
+				}
+				for j, s := range srow {
+					grow[j] += s * (orow[j] - dot)
+				}
+			}
+		}
+	case opSum:
+		if needsGrad(n.a) {
+			ag := t.grad(n.a)
+			g0 := g.Data[0]
+			for i := range ag.Data {
+				ag.Data[i] += g0
+			}
+		}
+	}
+}
+
 // Backward runs reverse-mode differentiation from out, which must be a 1x1
 // scalar node recorded on this tape. After it returns, every Var leaf's Grad
 // holds d(out)/d(leaf).
@@ -353,13 +461,13 @@ func (t *Tape) Backward(out *Node) {
 		panic(fmt.Sprintf("ad: Backward requires scalar output, got %dx%d", out.Value.Rows, out.Value.Cols))
 	}
 	if out.Grad == nil {
-		out.Grad = mat.New(1, 1)
+		out.Grad = t.arena.Get(1, 1)
 	}
 	out.Grad.Data[0] = 1
-	for i := len(t.nodes) - 1; i >= 0; i-- {
+	for i := t.used - 1; i >= 0; i-- {
 		n := t.nodes[i]
-		if n.back != nil && n.Grad != nil {
-			n.back()
+		if n.op != opLeaf && n.Grad != nil {
+			t.backstep(n)
 		}
 	}
 }

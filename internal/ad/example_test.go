@@ -1,0 +1,47 @@
+package ad_test
+
+import (
+	"fmt"
+
+	"aovlis/internal/ad"
+	"aovlis/internal/mat"
+)
+
+// ExampleTape_reuse documents the tape-recycling contract used by every
+// training loop in this repository: one tape per goroutine, Reset at the
+// start of each step, re-record the forward pass, read gradients, repeat.
+// After the first step the cycle performs zero heap allocations — node
+// structs and all Value/Grad matrices are recycled through the tape's
+// arena.
+//
+// The two rules to remember:
+//
+//  1. Nodes (and their Value/Grad matrices) are valid only until the next
+//     Reset. Copy anything you need out first — or, like the optimisers in
+//     internal/nn, consume the gradients before resetting.
+//  2. Matrices passed to Var are caller-owned and never recycled, which is
+//     what lets parameters persist and update in place across steps.
+func ExampleTape_reuse() {
+	w := mat.FromSlice(1, 2, []float64{0.5, -0.25}) // persistent parameter
+	x := []float64{2, 4}                            // per-step input
+
+	tp := ad.NewTape()
+	for step := 0; step < 3; step++ {
+		tp.Reset() // reclaim the previous step's nodes and matrices
+
+		wv := tp.Var(w) // re-record: leaves are per-step, w is not
+		loss := tp.Mean(tp.Square(tp.Mul(wv, tp.ConstVector(x))))
+		tp.Backward(loss)
+
+		// Consume loss and gradient before the next Reset invalidates them:
+		// here, a plain gradient-descent update of the caller-owned w.
+		for i := range w.Data {
+			w.Data[i] -= 0.1 * wv.Grad.Data[i]
+		}
+		fmt.Printf("step %d: loss=%.4f w=[%.3f %.3f]\n", step, ad.Scalar(loss), w.Data[0], w.Data[1])
+	}
+	// Output:
+	// step 0: loss=1.0000 w=[0.300 0.150]
+	// step 1: loss=0.3600 w=[0.180 -0.090]
+	// step 2: loss=0.1296 w=[0.108 0.054]
+}

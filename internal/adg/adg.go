@@ -40,7 +40,6 @@ package adg
 import (
 	"fmt"
 	"math"
-	"sort"
 )
 
 // eps guards logarithms against zero probabilities.
@@ -290,25 +289,52 @@ type HybridBound struct {
 	ExactPart float64
 	// ExactGroups marks which groups were evaluated exactly.
 	ExactGroups []bool
+	// occ is reusable scratch for sparse-group selection.
+	occ []gc
 }
 
 // REGUpperHybrid computes the refined bound with nsg exact groups.
 func REGUpperHybrid(rep *JointRep, f, fhat []float64, nsg int) HybridBound {
-	hb := HybridBound{ExactGroups: make([]bool, len(rep.Count))}
+	var hb HybridBound
+	REGUpperHybridInto(&hb, rep, f, fhat, nsg)
+	return hb
+}
+
+// gc pairs a group index with its member count for sparse-group selection.
+type gc struct{ g, n int }
+
+// REGUpperHybridInto computes the refined bound into hb, reusing its
+// ExactGroups and internal scratch so the detection hot path stays
+// allocation-free (the per-detector ados.Filter owns one HybridBound).
+func REGUpperHybridInto(hb *HybridBound, rep *JointRep, f, fhat []float64, nsg int) {
+	if cap(hb.ExactGroups) < len(rep.Count) {
+		hb.ExactGroups = make([]bool, len(rep.Count))
+	}
+	hb.ExactGroups = hb.ExactGroups[:len(rep.Count)]
+	for i := range hb.ExactGroups {
+		hb.ExactGroups[i] = false
+	}
+	hb.Upper, hb.ExactPart = 0, 0
 	if nsg > 0 {
-		type gc struct{ g, n int }
-		var occupied []gc
+		occupied := hb.occ[:0]
 		for g, n := range rep.Count {
 			if n > 0 {
 				occupied = append(occupied, gc{g, n})
 			}
 		}
-		sort.Slice(occupied, func(a, b int) bool {
-			if occupied[a].n != occupied[b].n {
-				return occupied[a].n < occupied[b].n
+		hb.occ = occupied
+		// Insertion sort by (count, group) — at most PartitionN (20) entries,
+		// unique group keys, so the order matches any comparison sort.
+		for i := 1; i < len(occupied); i++ {
+			for j := i; j > 0; j-- {
+				a, b := occupied[j-1], occupied[j]
+				if b.n < a.n || (b.n == a.n && b.g < a.g) {
+					occupied[j-1], occupied[j] = b, a
+				} else {
+					break
+				}
 			}
-			return occupied[a].g < occupied[b].g
-		})
+		}
 		if nsg > len(occupied) {
 			nsg = len(occupied)
 		}
@@ -330,7 +356,6 @@ func REGUpperHybrid(rep *JointRep, f, fhat []float64, nsg int) HybridBound {
 		}
 	}
 	hb.Upper = hb.ExactPart + total
-	return hb
 }
 
 // FinishExact completes the exact REI from a hybrid bound by evaluating the

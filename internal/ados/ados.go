@@ -178,6 +178,7 @@ type Filter struct {
 	cfg  Config
 	part *adg.Partition
 	rep  *adg.JointRep
+	hb   adg.HybridBound // reusable sparse-group scratch
 	st   Stats
 }
 
@@ -303,14 +304,14 @@ func (f *Filter) Decide(fTrue, fHat, aTrue, aHat []float64) (Result, error) {
 		if err := f.part.JointRepresentInto(f.rep, fTrue, fHat); err != nil {
 			return Result{}, err
 		}
-		hb := adg.REGUpperHybrid(f.rep, fTrue, fHat, f.cfg.Nsg)
-		if hb.Upper <= tn {
+		adg.REGUpperHybridInto(&f.hb, f.rep, fTrue, fHat, f.cfg.Nsg)
+		if f.hb.Upper <= tn {
 			f.st.FilteredREG++
-			return finish(hb.Upper, PathREG, false), nil
+			return finish(f.hb.Upper, PathREG, false), nil
 		}
 		// Exact REI reusing the sparse-group contributions.
 		f.st.ExactREI++
-		rei := adg.FinishExact(f.rep, hb, fTrue, fHat)
+		rei := adg.FinishExact(f.rep, f.hb, fTrue, fHat)
 		return finish(rei, PathExact, true), nil
 	}
 

@@ -15,6 +15,13 @@ import (
 // (Eq. 11-12 of the paper). It couples LSTM_I (influencer behaviour over
 // action features) with LSTM_A (audience interaction behaviour); decoders
 // DeI / DeA map the final hidden states back to feature space.
+//
+// A Model owns one reusable autodiff tape (and through it one mat.Arena):
+// every forward/backward pass recycles the previous pass's node and matrix
+// storage, so steady-state Predict/TrainStep calls are allocation-free.
+// The flip side is that Model methods are not safe for concurrent use —
+// confine a Model to one goroutine, the same single-writer contract the
+// Detector documents (see ARCHITECTURE.md).
 type Model struct {
 	cfg Config
 
@@ -25,6 +32,11 @@ type Model struct {
 	decA  *nn.Dense
 
 	opt *nn.Adam
+
+	// tape/bind/grads are the reused per-step autodiff state; see begin.
+	tape  *ad.Tape
+	bind  *nn.Binding
+	grads map[string]*mat.Matrix
 }
 
 // NewModel constructs a CLSTM for the given configuration.
@@ -48,7 +60,19 @@ func NewModel(cfg Config) (*Model, error) {
 		decA: nn.NewDense(ps, "decA", cfg.HiddenA, cfg.AudienceDim, nn.Linear, rng),
 		opt:  nn.NewAdam(cfg.LearningRate),
 	}
+	m.tape = ad.NewTape()
+	m.bind = ps.Bind(m.tape)
+	m.grads = make(map[string]*mat.Matrix, len(ps.Names()))
 	return m, nil
+}
+
+// begin resets the reused tape and rebinds the parameters for one
+// forward/backward pass. Everything recorded in the previous pass is
+// recycled, so callers must have copied any results out already.
+func (m *Model) begin() (*ad.Tape, *nn.Binding) {
+	m.tape.Reset()
+	m.bind.Rebind()
+	return m.tape, m.bind
 }
 
 // Config returns the model configuration.
@@ -68,8 +92,8 @@ func (m *Model) forward(tp *ad.Tape, b *nn.Binding, s *Sample) (fhat, ahat, hFin
 	h, cI := m.cellI.ZeroState(tp)
 	g, cA := m.cellA.ZeroState(tp)
 	for t := 0; t < m.cfg.SeqLen; t++ {
-		f := tp.Const(mat.VectorOf(s.ActionSeq[t]))
-		a := tp.Const(mat.VectorOf(s.AudienceSeq[t]))
+		f := tp.ConstVector(s.ActionSeq[t])
+		a := tp.ConstVector(s.AudienceSeq[t])
 		var ctxI, ctxA *ad.Node
 		switch m.cfg.Coupling {
 		case CouplingFull:
@@ -96,13 +120,29 @@ func (m *Model) forward(tp *ad.Tape, b *nn.Binding, s *Sample) (fhat, ahat, hFin
 // Predict returns the model's prediction (f̂_t, â_t) of the next segment's
 // features given the q-step history in s. Targets in s are ignored.
 func (m *Model) Predict(s *Sample) (fhat, ahat []float64, err error) {
-	if err := s.validate(m.cfg); err != nil {
+	fhat = make([]float64, m.cfg.ActionDim)
+	ahat = make([]float64, m.cfg.AudienceDim)
+	if err := m.PredictInto(s, fhat, ahat); err != nil {
 		return nil, nil, err
 	}
-	tp := ad.NewTape()
-	b := m.ps.Bind(tp)
+	return fhat, ahat, nil
+}
+
+// PredictInto is Predict with caller-supplied output buffers — the
+// allocation-free form Detector.Observe uses on its hot path.
+func (m *Model) PredictInto(s *Sample, fhat, ahat []float64) error {
+	if err := s.validate(m.cfg); err != nil {
+		return err
+	}
+	if len(fhat) != m.cfg.ActionDim || len(ahat) != m.cfg.AudienceDim {
+		return fmt.Errorf("core: PredictInto buffers %d/%d, model expects %d/%d",
+			len(fhat), len(ahat), m.cfg.ActionDim, m.cfg.AudienceDim)
+	}
+	tp, b := m.begin()
 	fn, an, _, _ := m.forward(tp, b, s)
-	return append([]float64(nil), fn.Value.Data...), append([]float64(nil), an.Value.Data...), nil
+	copy(fhat, fn.Value.Data)
+	copy(ahat, an.Value.Data)
+	return nil
 }
 
 // Hidden returns the final hidden state h_t of LSTM_I for the sample. The
@@ -113,8 +153,7 @@ func (m *Model) Hidden(s *Sample) ([]float64, error) {
 	if err := s.validate(m.cfg); err != nil {
 		return nil, err
 	}
-	tp := ad.NewTape()
-	b := m.ps.Bind(tp)
+	tp, b := m.begin()
 	_, _, h, _ := m.forward(tp, b, s)
 	return append([]float64(nil), h.Value.Data...), nil
 }
@@ -122,8 +161,12 @@ func (m *Model) Hidden(s *Sample) ([]float64, error) {
 // loss builds the joint training objective (Eq. 13):
 // l(I,A) = ω·Loss(Î,I) + (1−ω)·MSE(Â,A).
 func (m *Model) loss(tp *ad.Tape, fhat, ahat *ad.Node, s *Sample) *ad.Node {
-	lI := nn.ActionLoss(m.cfg.Loss, tp, mat.VectorOf(s.ActionTarget), fhat)
-	lA := nn.MSELoss(tp, ahat, mat.VectorOf(s.AudienceTarget))
+	// Targets are wrapped through the tape's arena (headers recycled, data
+	// not copied) so the training step stays allocation-free.
+	ft := tp.Arena().Wrap(1, len(s.ActionTarget), s.ActionTarget)
+	at := tp.Arena().Wrap(1, len(s.AudienceTarget), s.AudienceTarget)
+	lI := nn.ActionLoss(m.cfg.Loss, tp, ft, fhat)
+	lA := nn.MSELoss(tp, ahat, at)
 	return tp.Add(tp.Scale(m.cfg.Omega, lI), tp.Scale(1-m.cfg.Omega, lA))
 }
 
@@ -136,12 +179,11 @@ func (m *Model) TrainStep(s *Sample) (float64, error) {
 	if s.ActionTarget == nil || s.AudienceTarget == nil {
 		return 0, fmt.Errorf("core: TrainStep requires targets")
 	}
-	tp := ad.NewTape()
-	b := m.ps.Bind(tp)
+	tp, b := m.begin()
 	fhat, ahat, _, _ := m.forward(tp, b, s)
 	loss := m.loss(tp, fhat, ahat, s)
 	tp.Backward(loss)
-	m.opt.Step(m.ps, b.Grads())
+	m.opt.Step(m.ps, b.GradsInto(m.grads))
 	return ad.Scalar(loss), nil
 }
 
@@ -181,8 +223,7 @@ func (m *Model) EvalLoss(samples []Sample) (float64, error) {
 		if err := s.validate(m.cfg); err != nil {
 			return 0, err
 		}
-		tp := ad.NewTape()
-		b := m.ps.Bind(tp)
+		tp, b := m.begin()
 		fhat, ahat, _, _ := m.forward(tp, b, s)
 		total += ad.Scalar(m.loss(tp, fhat, ahat, s))
 	}

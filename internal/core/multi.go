@@ -83,7 +83,9 @@ func (c MultiConfig) Validate() error {
 	return nil
 }
 
-// MultiModel is the K-stream coupled LSTM with per-stream decoders.
+// MultiModel is the K-stream coupled LSTM with per-stream decoders. Like
+// Model, it owns one reusable tape and is therefore not safe for
+// concurrent use: confine it to one goroutine.
 type MultiModel struct {
 	cfg     MultiConfig
 	weights []float64 // normalised
@@ -91,6 +93,10 @@ type MultiModel struct {
 	cells   []*nn.LSTMCell
 	decs    []*nn.Dense
 	opt     *nn.Adam
+
+	tape  *ad.Tape
+	bind  *nn.Binding
+	grads map[string]*mat.Matrix
 }
 
 // NewMultiModel constructs the model.
@@ -120,7 +126,17 @@ func NewMultiModel(cfg MultiConfig) (*MultiModel, error) {
 		}
 		m.decs = append(m.decs, nn.NewDense(ps, fmt.Sprintf("stream%d.dec", i), s.Hidden, s.InputDim, act, rng))
 	}
+	m.tape = ad.NewTape()
+	m.bind = ps.Bind(m.tape)
+	m.grads = make(map[string]*mat.Matrix, len(ps.Names()))
 	return m, nil
+}
+
+// begin resets the reused tape and rebinds parameters for one pass.
+func (m *MultiModel) begin() (*ad.Tape, *nn.Binding) {
+	m.tape.Reset()
+	m.bind.Rebind()
+	return m.tape, m.bind
 }
 
 // Config returns the configuration.
@@ -166,7 +182,7 @@ func (m *MultiModel) forward(tp *ad.Tape, b *nn.Binding, seqs [][][]float64) []*
 		for i := 0; i < k; i++ {
 			parts := make([]*ad.Node, 0, k+1)
 			parts = append(parts, hs...)
-			parts = append(parts, tp.Const(mat.VectorOf(seqs[i][t])))
+			parts = append(parts, tp.ConstVector(seqs[i][t]))
 			ctx := tp.ConcatCols(parts...)
 			nextH[i], nextC[i] = m.cells[i].Step(b, ctx, cs[i])
 		}
@@ -185,8 +201,7 @@ func (m *MultiModel) Predict(seqs [][][]float64) ([][]float64, error) {
 	if err := m.validateSeqs(seqs); err != nil {
 		return nil, err
 	}
-	tp := ad.NewTape()
-	b := m.ps.Bind(tp)
+	tp, b := m.begin()
 	outs := m.forward(tp, b, seqs)
 	preds := make([][]float64, len(outs))
 	for i, o := range outs {
@@ -200,10 +215,11 @@ func (m *MultiModel) loss(tp *ad.Tape, outs []*ad.Node, targets [][]float64) *ad
 	var total *ad.Node
 	for i, o := range outs {
 		var li *ad.Node
+		tgt := tp.Arena().Wrap(1, len(targets[i]), targets[i])
 		if m.cfg.Streams[i].Simplex {
-			li = nn.JSLoss(tp, mat.VectorOf(targets[i]), o)
+			li = nn.JSLoss(tp, tgt, o)
 		} else {
-			li = nn.MSELoss(tp, o, mat.VectorOf(targets[i]))
+			li = nn.MSELoss(tp, o, tgt)
 		}
 		term := tp.Scale(m.weights[i], li)
 		if total == nil {
@@ -228,12 +244,11 @@ func (m *MultiModel) TrainStep(seqs [][][]float64, targets [][]float64) (float64
 			return 0, fmt.Errorf("core: target %d has dim %d, want %d", i, len(tgt), m.cfg.Streams[i].InputDim)
 		}
 	}
-	tp := ad.NewTape()
-	b := m.ps.Bind(tp)
+	tp, b := m.begin()
 	outs := m.forward(tp, b, seqs)
 	loss := m.loss(tp, outs, targets)
 	tp.Backward(loss)
-	m.opt.Step(m.ps, b.Grads())
+	m.opt.Step(m.ps, b.GradsInto(m.grads))
 	return ad.Scalar(loss), nil
 }
 

@@ -1,0 +1,104 @@
+package mat
+
+// Arena is a recycling allocator for matrices with a release-all contract:
+// Get and Wrap hand out matrices that remain valid until the next Reset,
+// which reclaims every handed-out matrix at once. The autodiff tape uses one
+// arena per tape so a whole forward/backward step allocates nothing in
+// steady state: after the first step every Get is served from the free
+// lists populated by the previous Reset.
+//
+// Ownership rules (see ARCHITECTURE.md):
+//
+//   - A matrix returned by Get is owned by the arena. Callers may read and
+//     write it freely until Reset, but must not retain it across Reset —
+//     copy data out first.
+//   - Wrap returns a matrix header whose Data is the caller's slice; the
+//     arena recycles only the header, never the backing storage.
+//   - An Arena is not safe for concurrent use. Confine each arena to one
+//     goroutine (internal/serve guarantees this per shard by confining each
+//     detector — and therefore its model's tape and arena — to exactly one
+//     shard worker).
+type Arena struct {
+	// free holds reclaimed owned matrices keyed by element count; Rows/Cols
+	// are rewritten on reuse, so only the backing capacity matters.
+	free map[int][]*Matrix
+	// owned lists matrices handed out by Get since the last Reset.
+	owned []*Matrix
+	// wrapped lists headers handed out by Wrap since the last Reset; their
+	// Data belongs to the caller and is detached before header reuse.
+	wrapped []*Matrix
+	// headers holds reclaimed wrap headers.
+	headers []*Matrix
+}
+
+// NewArena returns an empty arena.
+func NewArena() *Arena {
+	return &Arena{free: make(map[int][]*Matrix)}
+}
+
+// Get returns a zeroed rows × cols matrix owned by the arena. The matrix is
+// valid until the next Reset.
+func (a *Arena) Get(rows, cols int) *Matrix {
+	m := a.GetUninit(rows, cols)
+	for i := range m.Data {
+		m.Data[i] = 0
+	}
+	return m
+}
+
+// GetUninit is Get without the zeroing pass: element values are
+// unspecified (stale data from a recycled matrix). Use it only for
+// destinations that every consumer fully overwrites — the autodiff tape's
+// forward-value matrices qualify; gradient accumulators do not.
+func (a *Arena) GetUninit(rows, cols int) *Matrix {
+	n := rows * cols
+	var m *Matrix
+	if fl := a.free[n]; len(fl) > 0 {
+		m = fl[len(fl)-1]
+		a.free[n] = fl[:len(fl)-1]
+		m.Rows, m.Cols = rows, cols
+	} else {
+		m = New(rows, cols)
+	}
+	a.owned = append(a.owned, m)
+	return m
+}
+
+// Wrap returns a rows × cols matrix header over data (not copied), valid
+// until the next Reset. Only the header is recycled; data stays owned by
+// the caller.
+func (a *Arena) Wrap(rows, cols int, data []float64) *Matrix {
+	if len(data) != rows*cols {
+		panic("mat: Arena.Wrap data length mismatch")
+	}
+	var m *Matrix
+	if n := len(a.headers); n > 0 {
+		m = a.headers[n-1]
+		a.headers = a.headers[:n-1]
+		m.Rows, m.Cols, m.Data = rows, cols, data
+	} else {
+		m = &Matrix{Rows: rows, Cols: cols, Data: data}
+	}
+	a.wrapped = append(a.wrapped, m)
+	return m
+}
+
+// Reset reclaims every matrix handed out since the previous Reset. All of
+// them become invalid for the caller and will be reused by later Get/Wrap
+// calls.
+func (a *Arena) Reset() {
+	for _, m := range a.owned {
+		n := len(m.Data)
+		a.free[n] = append(a.free[n], m)
+	}
+	a.owned = a.owned[:0]
+	for _, m := range a.wrapped {
+		m.Data = nil // drop the caller's slice so the header can't leak it
+		a.headers = append(a.headers, m)
+	}
+	a.wrapped = a.wrapped[:0]
+}
+
+// Live returns the number of matrices handed out since the last Reset
+// (owned plus wrapped); used by tests to verify recycling.
+func (a *Arena) Live() int { return len(a.owned) + len(a.wrapped) }

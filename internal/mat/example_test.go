@@ -1,0 +1,35 @@
+package mat_test
+
+import (
+	"fmt"
+
+	"aovlis/internal/mat"
+)
+
+// ExampleArena shows the recycling contract: matrices from Get/Wrap are
+// valid until Reset, after which the arena serves later requests from its
+// free lists instead of the heap. One arena per goroutine — the autodiff
+// tape owns one and Resets it at the start of every training/inference
+// step.
+func ExampleArena() {
+	arena := mat.NewArena()
+
+	// Step 1: the arena allocates fresh storage.
+	sum := arena.Get(1, 3)
+	x := arena.Wrap(1, 3, []float64{1, 2, 3}) // header only, data not copied
+	mat.AddTo(sum, x, x)
+	fmt.Println("step 1:", sum.Data, "live:", arena.Live())
+
+	// Reset reclaims everything handed out above. Copy results out first:
+	// sum and x must not be used again.
+	arena.Reset()
+
+	// Step 2: the same backing storage is reused, zeroed, under any shape
+	// with the same element count.
+	again := arena.Get(3, 1)
+	fmt.Println("step 2:", again.Data, "live:", arena.Live())
+
+	// Output:
+	// step 1: [2 4 6] live: 2
+	// step 2: [0 0 0] live: 1
+}

@@ -127,17 +127,26 @@ func (ps *ParamSet) Average(other *ParamSet, w float64) error {
 
 // Binding associates a ParamSet with autodiff Var nodes on one tape.
 type Binding struct {
+	ps    *ParamSet
 	tape  *ad.Tape
 	nodes map[string]*ad.Node
 }
 
 // Bind creates a Var node for every parameter on tp.
 func (ps *ParamSet) Bind(tp *ad.Tape) *Binding {
-	b := &Binding{tape: tp, nodes: make(map[string]*ad.Node, len(ps.names))}
-	for _, n := range ps.names {
-		b.nodes[n] = tp.Var(ps.vals[n])
-	}
+	b := &Binding{ps: ps, tape: tp, nodes: make(map[string]*ad.Node, len(ps.names))}
+	b.Rebind()
 	return b
+}
+
+// Rebind re-registers every parameter as a fresh Var on the binding's tape.
+// Call it after Tape.Reset to reuse one binding across training/inference
+// steps: the node map is updated in place (same keys), so a steady-state
+// rebind performs no heap allocations.
+func (b *Binding) Rebind() {
+	for _, n := range b.ps.names {
+		b.nodes[n] = b.tape.Var(b.ps.vals[n])
+	}
 }
 
 // Node returns the bound Var for name.
@@ -154,11 +163,18 @@ func (b *Binding) Tape() *ad.Tape { return b.tape }
 
 // Grads returns the gradient matrix of every bound parameter after Backward.
 func (b *Binding) Grads() map[string]*mat.Matrix {
-	out := make(map[string]*mat.Matrix, len(b.nodes))
+	return b.GradsInto(make(map[string]*mat.Matrix, len(b.nodes)))
+}
+
+// GradsInto fills dst with the gradient matrix of every bound parameter and
+// returns it. Reusing one map across steps keeps the optimiser hand-off
+// allocation-free; the gradient matrices themselves are tape-owned and only
+// valid until the tape's next Reset.
+func (b *Binding) GradsInto(dst map[string]*mat.Matrix) map[string]*mat.Matrix {
 	for name, node := range b.nodes {
-		out[name] = node.Grad
+		dst[name] = node.Grad
 	}
-	return out
+	return dst
 }
 
 // --- Initialisers ---
@@ -202,7 +218,7 @@ func NewAdam(lr float64) *Adam {
 // Missing or nil gradients are skipped (parameters unused in this step).
 func (a *Adam) Step(ps *ParamSet, grads map[string]*mat.Matrix) {
 	if a.ClipNorm > 0 {
-		clipGlobalNorm(grads, a.ClipNorm)
+		clipGlobalNorm(ps.names, grads, a.ClipNorm)
 	}
 	a.t++
 	bc1 := 1 - math.Pow(a.Beta1, float64(a.t))
@@ -238,25 +254,28 @@ func (a *Adam) Reset() {
 	a.v = make(map[string]*mat.Matrix)
 }
 
-func clipGlobalNorm(grads map[string]*mat.Matrix, maxNorm float64) {
+// clipGlobalNorm rescales the gradients so their global norm is at most
+// maxNorm. It walks names (registration order) rather than ranging over the
+// map: float addition is not associative, so a randomized map order would
+// make the norm — and therefore training — differ in the last bits from run
+// to run.
+func clipGlobalNorm(names []string, grads map[string]*mat.Matrix, maxNorm float64) {
 	var total float64
-	for _, g := range grads {
-		if g == nil {
-			continue
+	for _, n := range names {
+		if g := grads[n]; g != nil {
+			total += mat.Dot(g, g)
 		}
-		total += mat.Dot(g, g)
 	}
 	norm := math.Sqrt(total)
 	if norm <= maxNorm || norm == 0 {
 		return
 	}
 	s := maxNorm / norm
-	for _, g := range grads {
-		if g == nil {
-			continue
-		}
-		for i := range g.Data {
-			g.Data[i] *= s
+	for _, n := range names {
+		if g := grads[n]; g != nil {
+			for i := range g.Data {
+				g.Data[i] *= s
+			}
 		}
 	}
 }
@@ -280,6 +299,10 @@ type Dense struct {
 	Name    string
 	In, Out int
 	Act     Activation
+
+	// wName/bName cache the parameter keys so Apply does not concatenate
+	// strings (and therefore allocate) on the hot path.
+	wName, bName string
 }
 
 // NewDense registers the layer's parameters in ps and returns the layer.
@@ -288,13 +311,13 @@ func NewDense(ps *ParamSet, name string, in, out int, act Activation, rng *rand.
 	XavierInit(w, in, out, rng)
 	ps.Add(name+".W", w)
 	ps.Add(name+".b", mat.New(1, out))
-	return &Dense{Name: name, In: in, Out: out, Act: act}
+	return &Dense{Name: name, In: in, Out: out, Act: act, wName: name + ".W", bName: name + ".b"}
 }
 
 // Apply runs the layer on x using parameters bound in b.
 func (d *Dense) Apply(b *Binding, x *ad.Node) *ad.Node {
 	tp := b.Tape()
-	z := tp.Add(tp.MatMul(x, b.Node(d.Name+".W")), b.Node(d.Name+".b"))
+	z := tp.Add(tp.MatMul(x, b.Node(d.wName)), b.Node(d.bName))
 	switch d.Act {
 	case Linear:
 		return z
@@ -319,23 +342,39 @@ type LSTMCell struct {
 	Name   string
 	CtxDim int // dimension of the concatenated gate context
 	Hidden int
+
+	// wNames/bNames cache the gate parameter keys (order i, f, c, o) so
+	// Step does not concatenate strings on the hot path.
+	wNames, bNames [4]string
 }
+
+// gateOrder fixes the registration and lookup order of the LSTM gates.
+var gateOrder = [4]string{"i", "f", "c", "o"}
 
 // NewLSTMCell registers the four gate weight matrices and biases in ps.
 // The forget-gate bias is initialised to 1 (standard remember-by-default
 // trick) and all weights use Xavier initialisation.
 func NewLSTMCell(ps *ParamSet, name string, ctxDim, hidden int, rng *rand.Rand) *LSTMCell {
-	for _, gate := range []string{"i", "f", "c", "o"} {
+	c := &LSTMCell{Name: name, CtxDim: ctxDim, Hidden: hidden}
+	c.cacheNames()
+	for gi, gate := range gateOrder {
 		w := mat.New(ctxDim, hidden)
 		XavierInit(w, ctxDim, hidden, rng)
-		ps.Add(fmt.Sprintf("%s.W%s", name, gate), w)
+		ps.Add(c.wNames[gi], w)
 		b := mat.New(1, hidden)
 		if gate == "f" {
 			ConstInit(b, 1)
 		}
-		ps.Add(fmt.Sprintf("%s.b%s", name, gate), b)
+		ps.Add(c.bNames[gi], b)
 	}
-	return &LSTMCell{Name: name, CtxDim: ctxDim, Hidden: hidden}
+	return c
+}
+
+func (c *LSTMCell) cacheNames() {
+	for gi, gate := range gateOrder {
+		c.wNames[gi] = fmt.Sprintf("%s.W%s", c.Name, gate)
+		c.bNames[gi] = fmt.Sprintf("%s.b%s", c.Name, gate)
+	}
 }
 
 // Step performs one LSTM step (Eq. 1-4 / 6-9 of the paper):
@@ -350,22 +389,23 @@ func (c *LSTMCell) Step(b *Binding, ctx, cPrev *ad.Node) (h, cNext *ad.Node) {
 		panic(fmt.Sprintf("nn: %s ctx has %d cols, want %d", c.Name, ctx.Value.Cols, c.CtxDim))
 	}
 	tp := b.Tape()
-	gate := func(g string, act func(*ad.Node) *ad.Node) *ad.Node {
-		z := tp.Add(tp.MatMul(ctx, b.Node(c.Name+".W"+g)), b.Node(c.Name+".b"+g))
-		return act(z)
+	pre := func(gi int) *ad.Node {
+		return tp.Add(tp.MatMul(ctx, b.Node(c.wNames[gi])), b.Node(c.bNames[gi]))
 	}
-	ig := gate("i", tp.Sigmoid)
-	fg := gate("f", tp.Sigmoid)
-	cand := gate("c", tp.Tanh)
-	og := gate("o", tp.Sigmoid)
+	ig := tp.Sigmoid(pre(0))
+	fg := tp.Sigmoid(pre(1))
+	cand := tp.Tanh(pre(2))
+	og := tp.Sigmoid(pre(3))
 	cNext = tp.Add(tp.Mul(ig, cand), tp.Mul(fg, cPrev))
 	h = tp.Mul(og, tp.Tanh(cNext))
 	return h, cNext
 }
 
-// ZeroState returns h0 and c0 constant nodes of the right shape.
+// ZeroState returns h0 and c0 constant nodes of the right shape. The
+// zeroed matrices come from the tape's arena, so they recycle with the
+// tape and the call is allocation-free in steady state.
 func (c *LSTMCell) ZeroState(tp *ad.Tape) (h0, c0 *ad.Node) {
-	return tp.Const(mat.New(1, c.Hidden)), tp.Const(mat.New(1, c.Hidden))
+	return tp.Const(tp.Arena().Get(1, c.Hidden)), tp.Const(tp.Arena().Get(1, c.Hidden))
 }
 
 // --- Losses (autodiff-composable) ---

@@ -141,13 +141,13 @@ func TestGradientClipping(t *testing.T) {
 	g := map[string]*mat.Matrix{
 		"a": mat.FromSlice(1, 2, []float64{30, 40}), // norm 50
 	}
-	clipGlobalNorm(g, 5)
+	clipGlobalNorm([]string{"a"}, g, 5)
 	if got := mat.Norm2(g["a"]); math.Abs(got-5) > 1e-9 {
 		t.Fatalf("clipped norm = %v, want 5", got)
 	}
 	// Below threshold: untouched.
 	g2 := map[string]*mat.Matrix{"a": mat.FromSlice(1, 1, []float64{0.5})}
-	clipGlobalNorm(g2, 5)
+	clipGlobalNorm([]string{"a"}, g2, 5)
 	if g2["a"].Data[0] != 0.5 {
 		t.Fatal("clip modified small gradient")
 	}

@@ -322,6 +322,12 @@ func (p *DetectorPool) Channels() []string {
 // The caller must treat the feature slices as frozen until the outcome is
 // delivered (the pool does not copy them).
 func (p *DetectorPool) Submit(id string, actionFeat, audienceFeat []float64) (<-chan Outcome, error) {
+	return p.submit(id, actionFeat, audienceFeat, make(chan Outcome, 1))
+}
+
+// submit is Submit with a caller-supplied outcome channel (buffered, cap 1)
+// so the synchronous Observe path can recycle channels through a pool.
+func (p *DetectorPool) submit(id string, actionFeat, audienceFeat []float64, out chan Outcome) (chan Outcome, error) {
 	// The read lock spans the queue send: Close takes the write lock, so a
 	// blocked sender holds Close off while the shard workers drain the
 	// queue it is waiting on — backpressure without lost observations.
@@ -334,7 +340,7 @@ func (p *DetectorPool) Submit(id string, actionFeat, audienceFeat []float64) (<-
 	if !ok {
 		return nil, fmt.Errorf("%w: %q", ErrUnknownChannel, id)
 	}
-	j := job{ch: ch, action: actionFeat, audience: audienceFeat, out: make(chan Outcome, 1)}
+	j := job{ch: ch, action: actionFeat, audience: audienceFeat, out: out}
 	// The gauge is raised before the send so the worker's decrement can
 	// never observe it at zero.
 	ch.pending.Add(1)
@@ -352,14 +358,21 @@ func (p *DetectorPool) Submit(id string, actionFeat, audienceFeat []float64) (<-
 	return j.out, nil
 }
 
+// outcomeChans recycles the buffered outcome channels of the synchronous
+// Observe path: Observe always drains its channel, so a drained channel can
+// be handed to the next caller without touching the heap.
+var outcomeChans = sync.Pool{New: func() any { return make(chan Outcome, 1) }}
+
 // Observe submits one observation and waits for its verdict — the
 // synchronous convenience over Submit.
 func (p *DetectorPool) Observe(id string, actionFeat, audienceFeat []float64) (aovlis.Result, error) {
-	out, err := p.Submit(id, actionFeat, audienceFeat)
-	if err != nil {
+	out := outcomeChans.Get().(chan Outcome)
+	if _, err := p.submit(id, actionFeat, audienceFeat, out); err != nil {
+		outcomeChans.Put(out)
 		return aovlis.Result{}, err
 	}
 	o := <-out
+	outcomeChans.Put(out)
 	return o.Result, o.Err
 }
 
