@@ -84,6 +84,68 @@ func TestObserveSteadyStateAllocs(t *testing.T) {
 	}
 }
 
+// TestPredictIntoSteadyStateAllocs pins the fused inference engine's
+// allocation contract: compiling an InferPlan (at model construction) may
+// allocate, but steady-state PredictInto through the plan must be
+// allocation-free — including when online TrainSteps interleave with
+// predictions, where every prediction first repacks the dirtied plan
+// in place.
+func TestPredictIntoSteadyStateAllocs(t *testing.T) {
+	actions, audience := allocFixtureSeries(30)
+	mcfg := core.DefaultConfig(16, 6)
+	mcfg.HiddenI, mcfg.HiddenA = 12, 8
+	mcfg.SeqLen = 4
+	model, err := core.NewModel(mcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples, err := core.BuildSamples(actions, audience, mcfg.SeqLen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fhat := make([]float64, mcfg.ActionDim)
+	ahat := make([]float64, mcfg.AudienceDim)
+	// Warm: size the tape pool/arena (training) and run one prediction.
+	for i := 0; i < 3; i++ {
+		if _, err := model.TrainStep(&samples[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := model.PredictInto(&samples[0], fhat, ahat); err != nil {
+		t.Fatal(err)
+	}
+
+	t.Run("predict-only", func(t *testing.T) {
+		i := 0
+		n := testing.AllocsPerRun(100, func() {
+			if err := model.PredictInto(&samples[i%len(samples)], fhat, ahat); err != nil {
+				t.Fatal(err)
+			}
+			i++
+		})
+		if n > 0 {
+			t.Fatalf("steady-state PredictInto allocates %v times, want 0", n)
+		}
+	})
+	t.Run("train-repack-predict", func(t *testing.T) {
+		i := 0
+		n := testing.AllocsPerRun(50, func() {
+			if _, err := model.TrainStep(&samples[i%len(samples)]); err != nil {
+				t.Fatal(err)
+			}
+			// The TrainStep bumped the parameter version; this PredictInto
+			// must repack the plan — still without allocating.
+			if err := model.PredictInto(&samples[i%len(samples)], fhat, ahat); err != nil {
+				t.Fatal(err)
+			}
+			i++
+		})
+		if n > 0 {
+			t.Fatalf("train+repack+predict cycle allocates %v times, want 0", n)
+		}
+	})
+}
+
 // TestTrainStepSteadyStateAllocs pins the training-side property: a
 // steady-state Model.TrainStep performs zero heap allocations.
 func TestTrainStepSteadyStateAllocs(t *testing.T) {

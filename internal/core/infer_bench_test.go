@@ -1,0 +1,59 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Micro-benchmarks for the two prediction paths at the root benchmark's
+// model dimensions (ActionDim 48, AudienceDim 19, hidden 32/16, q = 9), so
+// the tape-vs-fused split can be measured without the Detector around it.
+
+func inferBenchModel(b *testing.B) (*Model, []Sample) {
+	b.Helper()
+	actions, audience := goldenSeries(40, 48, 19, 77)
+	cfg := DefaultConfig(48, 19)
+	cfg.HiddenI, cfg.HiddenA = 32, 16
+	cfg.SeqLen = 9
+	m, err := NewModel(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	samples, err := BuildSamples(actions, audience, cfg.SeqLen)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := m.TrainEpoch(samples, rand.New(rand.NewSource(3))); err != nil {
+		b.Fatal(err)
+	}
+	return m, samples
+}
+
+// BenchmarkPredictIntoFused measures the InferPlan path.
+func BenchmarkPredictIntoFused(b *testing.B) {
+	m, samples := inferBenchModel(b)
+	fhat := make([]float64, m.cfg.ActionDim)
+	ahat := make([]float64, m.cfg.AudienceDim)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := m.PredictInto(&samples[i%len(samples)], fhat, ahat); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPredictIntoTape measures the autodiff-tape forward path the
+// fused engine replaced.
+func BenchmarkPredictIntoTape(b *testing.B) {
+	m, samples := inferBenchModel(b)
+	fhat := make([]float64, m.cfg.ActionDim)
+	ahat := make([]float64, m.cfg.AudienceDim)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := m.predictTapeInto(&samples[i%len(samples)], fhat, ahat); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -37,6 +37,13 @@ type Model struct {
 	tape  *ad.Tape
 	bind  *nn.Binding
 	grads map[string]*mat.Matrix
+
+	// plan is the compiled tape-free inference engine; see inferPlan.
+	// inferSeqs/inferOuts are reused argument buffers for plan.Run so
+	// PredictInto stays allocation-free.
+	plan      *InferPlan
+	inferSeqs [2][][]float64
+	inferOuts [2][]float64
 }
 
 // NewModel constructs a CLSTM for the given configuration.
@@ -63,7 +70,20 @@ func NewModel(cfg Config) (*Model, error) {
 	m.tape = ad.NewTape()
 	m.bind = ps.Bind(m.tape)
 	m.grads = make(map[string]*mat.Matrix, len(ps.Names()))
+	m.plan = compileInferPlan(ps, cfg.SeqLen, modelSpecs(cfg, m.cellI, m.cellA, m.decI, m.decA))
 	return m, nil
+}
+
+// inferPlan returns the compiled inference plan, repacking it first if any
+// parameter mutation (TrainStep, Merge, online update, Load) happened since
+// it was last packed. The staleness check is one integer compare and the
+// repack is allocation-free, so the prediction hot path stays cheap and the
+// plan can never silently serve stale weights.
+func (m *Model) inferPlan() *InferPlan {
+	if m.plan.Version() != m.ps.Version() {
+		m.plan.Repack(m.ps)
+	}
+	return m.plan
 }
 
 // begin resets the reused tape and rebinds the parameters for one
@@ -129,7 +149,10 @@ func (m *Model) Predict(s *Sample) (fhat, ahat []float64, err error) {
 }
 
 // PredictInto is Predict with caller-supplied output buffers — the
-// allocation-free form Detector.Observe uses on its hot path.
+// allocation-free form Detector.Observe uses on its hot path. It routes
+// through the compiled InferPlan (tape-free gate-fused forward pass),
+// which is bit-identical to the tape forward pass; see infer.go and the
+// golden equivalence tests.
 func (m *Model) PredictInto(s *Sample, fhat, ahat []float64) error {
 	if err := s.validate(m.cfg); err != nil {
 		return err
@@ -137,6 +160,25 @@ func (m *Model) PredictInto(s *Sample, fhat, ahat []float64) error {
 	if len(fhat) != m.cfg.ActionDim || len(ahat) != m.cfg.AudienceDim {
 		return fmt.Errorf("core: PredictInto buffers %d/%d, model expects %d/%d",
 			len(fhat), len(ahat), m.cfg.ActionDim, m.cfg.AudienceDim)
+	}
+	p := m.inferPlan()
+	m.inferSeqs[0], m.inferSeqs[1] = s.ActionSeq, s.AudienceSeq
+	m.inferOuts[0], m.inferOuts[1] = fhat, ahat
+	p.Run(m.inferSeqs[:], m.inferOuts[:])
+	// Drop the caller's slices so the reused argument buffers don't pin
+	// them beyond the call.
+	m.inferSeqs[0], m.inferSeqs[1] = nil, nil
+	m.inferOuts[0], m.inferOuts[1] = nil, nil
+	return nil
+}
+
+// predictTapeInto is the pre-InferPlan prediction path: the forward pass
+// recorded on the autodiff tape, exactly as training runs it. It exists so
+// the golden equivalence tests can pin the fused engine bit-identical to
+// the tape; production prediction goes through PredictInto.
+func (m *Model) predictTapeInto(s *Sample, fhat, ahat []float64) error {
+	if err := s.validate(m.cfg); err != nil {
+		return err
 	}
 	tp, b := m.begin()
 	fn, an, _, _ := m.forward(tp, b, s)

@@ -97,6 +97,9 @@ type MultiModel struct {
 	tape  *ad.Tape
 	bind  *nn.Binding
 	grads map[string]*mat.Matrix
+
+	// plan is the compiled tape-free inference engine (see infer.go).
+	plan *InferPlan
 }
 
 // NewMultiModel constructs the model.
@@ -129,7 +132,17 @@ func NewMultiModel(cfg MultiConfig) (*MultiModel, error) {
 	m.tape = ad.NewTape()
 	m.bind = ps.Bind(m.tape)
 	m.grads = make(map[string]*mat.Matrix, len(ps.Names()))
+	m.plan = compileInferPlan(ps, cfg.SeqLen, multiSpecs(m.cells, m.decs))
 	return m, nil
+}
+
+// inferPlan returns the compiled inference plan, repacked if training has
+// mutated the parameters since the last pack (same protocol as Model).
+func (m *MultiModel) inferPlan() *InferPlan {
+	if m.plan.Version() != m.ps.Version() {
+		m.plan.Repack(m.ps)
+	}
+	return m.plan
 }
 
 // begin resets the reused tape and rebinds parameters for one pass.
@@ -196,8 +209,40 @@ func (m *MultiModel) forward(tp *ad.Tape, b *nn.Binding, seqs [][][]float64) []*
 }
 
 // Predict returns each stream's predicted next feature given the q-step
-// window seqs[k][t].
+// window seqs[k][t]. It routes through the compiled InferPlan, like
+// Model.PredictInto.
 func (m *MultiModel) Predict(seqs [][][]float64) ([][]float64, error) {
+	preds := make([][]float64, len(m.cfg.Streams))
+	for i, s := range m.cfg.Streams {
+		preds[i] = make([]float64, s.InputDim)
+	}
+	if err := m.PredictInto(seqs, preds); err != nil {
+		return nil, err
+	}
+	return preds, nil
+}
+
+// PredictInto is Predict with caller-supplied output buffers (outs[k] must
+// have stream k's InputDim) — the allocation-free form for serving loops.
+func (m *MultiModel) PredictInto(seqs [][][]float64, outs [][]float64) error {
+	if err := m.validateSeqs(seqs); err != nil {
+		return err
+	}
+	if len(outs) != len(m.cfg.Streams) {
+		return fmt.Errorf("core: %d output buffers, model has %d streams", len(outs), len(m.cfg.Streams))
+	}
+	for i, o := range outs {
+		if len(o) != m.cfg.Streams[i].InputDim {
+			return fmt.Errorf("core: output %d has dim %d, want %d", i, len(o), m.cfg.Streams[i].InputDim)
+		}
+	}
+	m.inferPlan().Run(seqs, outs)
+	return nil
+}
+
+// predictTape is the tape-recorded prediction path, kept for the golden
+// equivalence tests that pin the fused plan bit-identical to it.
+func (m *MultiModel) predictTape(seqs [][][]float64) ([][]float64, error) {
 	if err := m.validateSeqs(seqs); err != nil {
 		return nil, err
 	}

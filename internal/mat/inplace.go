@@ -62,7 +62,9 @@ func ApplyTo(dst, a *Matrix, f func(float64) float64) {
 }
 
 // MatMulTo computes dst = a · b, zeroing dst first. The accumulation order
-// matches MatMul exactly.
+// matches MatMul exactly. Like MatMul, the kernel is dense — the former
+// zero-skip branch cost more on dense LSTM inputs than it saved (see
+// BenchmarkMatMulZeroSkip) and skipping zeros never changed a bit.
 func MatMulTo(dst, a, b *Matrix) {
 	if a.Cols != b.Rows {
 		panic(fmt.Sprintf("mat: MatMulTo inner dimension mismatch %dx%d · %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
@@ -75,12 +77,12 @@ func MatMulTo(dst, a, b *Matrix) {
 		arow := a.Data[i*a.Cols : (i+1)*a.Cols]
 		orow := dst.Data[i*b.Cols : (i+1)*b.Cols]
 		for k, av := range arow {
-			if av == 0 {
-				continue
-			}
 			brow := b.Data[k*b.Cols : (k+1)*b.Cols]
 			for j, bv := range brow {
-				orow[j] += av * bv
+				// float64() forbids FMA contraction so this kernel and
+				// the fused VecMatTTo round identically on every
+				// platform, not just non-contracting amd64.
+				orow[j] += float64(av * bv)
 			}
 		}
 	}

