@@ -35,6 +35,7 @@ import (
 
 	"aovlis/internal/ados"
 	"aovlis/internal/core"
+	"aovlis/internal/snapshot"
 	"aovlis/internal/update"
 )
 
@@ -440,6 +441,11 @@ func (d *Detector) Clone() (*Detector, error) {
 // Load restores a detector written by Save. The restored detector starts
 // with an empty observation window and fresh updater state.
 func Load(r io.Reader) (*Detector, error) {
+	// One shared buffered reader for the whole chain of gob decoders: gob
+	// privately buffers (and over-reads) any reader that is not an
+	// io.ByteReader, which would starve the model decoder that follows when
+	// loading straight from a file.
+	r = snapshot.Reader(r)
 	var wire detectorWire
 	if err := gob.NewDecoder(r).Decode(&wire); err != nil {
 		return nil, fmt.Errorf("aovlis: decoding detector: %w", err)
@@ -453,4 +459,154 @@ func Load(r io.Reader) (*Detector, error) {
 		return nil, err
 	}
 	return d, nil
+}
+
+// detectorSnapWire is the gob payload of a full-runtime detector snapshot,
+// written after the versioned snapshot envelope. It captures everything
+// Save leaves behind: the sliding q-length windows, the stream counters,
+// the live ADOS filter configuration (which tracks SetTau) and its activity
+// counters, and the dynamic updater's buffered samples and drift sketches.
+// The model (with optimiser state) follows the payload in the stream.
+type detectorSnapWire struct {
+	Config      Config
+	Tau         float64
+	ActWin      [][]float64
+	AudWin      [][]float64
+	Observed    int
+	Detected    int
+	FilterCfg   ados.Config
+	FilterStats ados.Stats
+	HasUpdater  bool
+	Updater     update.State
+}
+
+// Snapshot serialises the detector's complete runtime state — model
+// weights and optimiser moments, threshold, sliding windows, filter
+// counters and pending update samples — inside a versioned envelope. A
+// detector restored with RestoreDetector produces bit-identical Result
+// sequences to this detector continuing uninterrupted, including when
+// EnableUpdate is on.
+//
+// Snapshot reads every piece of mutable state, so it is writer activity
+// under the detector's single-writer contract: never overlap it with
+// Observe. Like Observe, it enforces the contract cheaply — a Snapshot
+// racing an Observe fails with ErrConcurrentObserve instead of committing
+// a torn state. The DetectorPool quiesces each channel at a segment
+// boundary before snapshotting it, which is the supported way to snapshot
+// live traffic.
+func (d *Detector) Snapshot(w io.Writer) error {
+	if !d.observing.CompareAndSwap(0, 1) {
+		return ErrConcurrentObserve
+	}
+	defer d.observing.Store(0)
+	if err := snapshot.WriteHeader(w, snapshot.KindDetector); err != nil {
+		return err
+	}
+	wire := detectorSnapWire{
+		Config:      d.cfg,
+		Tau:         d.tau,
+		ActWin:      d.actWin,
+		AudWin:      d.audWin,
+		Observed:    d.observed,
+		Detected:    d.detected,
+		FilterCfg:   d.filter.Config(),
+		FilterStats: d.filter.Stats(),
+	}
+	if d.upd != nil {
+		wire.HasUpdater = true
+		wire.Updater = d.upd.State()
+	}
+	if err := gob.NewEncoder(w).Encode(wire); err != nil {
+		return fmt.Errorf("aovlis: encoding detector snapshot: %w", err)
+	}
+	return d.model.SaveRuntime(w)
+}
+
+// RestoreDetector rebuilds a detector from a Snapshot stream. The restored
+// detector resumes exactly where the snapshotted one stopped: same window
+// contents, same threshold, same filter counters, same buffered update
+// samples — its future Observe results are bit-identical to an
+// uninterrupted run over the same remaining stream.
+func RestoreDetector(r io.Reader) (*Detector, error) {
+	r = snapshot.Reader(r)
+	if _, err := snapshot.ReadHeader(r, snapshot.KindDetector); err != nil {
+		return nil, err
+	}
+	var wire detectorSnapWire
+	if err := gob.NewDecoder(r).Decode(&wire); err != nil {
+		return nil, fmt.Errorf("aovlis: decoding detector snapshot: %w", err)
+	}
+	if err := wire.validate(); err != nil {
+		return nil, err
+	}
+	model, err := core.LoadModel(r)
+	if err != nil {
+		return nil, err
+	}
+	// The embedded model must be the one the detector configuration
+	// implies: a mismatched pair would restore "successfully" and then fail
+	// (or mis-score) on every Observe.
+	if mc := wire.Config.modelConfig(); model.Config() != mc {
+		return nil, fmt.Errorf("aovlis: snapshot model config %+v does not match detector config %+v", model.Config(), mc)
+	}
+	d := &Detector{
+		cfg:      wire.Config,
+		model:    model,
+		tau:      wire.Tau,
+		actWin:   wire.ActWin,
+		audWin:   wire.AudWin,
+		observed: wire.Observed,
+		detected: wire.Detected,
+	}
+	filter, err := ados.NewFilter(wire.FilterCfg)
+	if err != nil {
+		return nil, fmt.Errorf("aovlis: restoring filter: %w", err)
+	}
+	filter.RestoreStats(wire.FilterStats)
+	d.filter = filter
+	if wire.HasUpdater {
+		upd, err := update.New(model, d.cfg.Update)
+		if err != nil {
+			return nil, fmt.Errorf("aovlis: restoring updater: %w", err)
+		}
+		if err := upd.SetState(wire.Updater); err != nil {
+			return nil, fmt.Errorf("aovlis: restoring updater: %w", err)
+		}
+		d.upd = upd
+	}
+	return d, nil
+}
+
+// validate rejects snapshot payloads whose runtime state cannot belong to
+// the embedded configuration — corrupted or hand-edited streams should fail
+// here, not as index panics mid-Observe.
+func (w *detectorSnapWire) validate() error {
+	if err := w.Config.Validate(); err != nil {
+		return fmt.Errorf("aovlis: snapshot config: %w", err)
+	}
+	if len(w.ActWin) != len(w.AudWin) {
+		return fmt.Errorf("aovlis: snapshot windows disagree: %d action vs %d audience rows", len(w.ActWin), len(w.AudWin))
+	}
+	if len(w.ActWin) > w.Config.SeqLen {
+		return fmt.Errorf("aovlis: snapshot window has %d rows, config q is %d", len(w.ActWin), w.Config.SeqLen)
+	}
+	for i := range w.ActWin {
+		if len(w.ActWin[i]) != w.Config.ActionDim || len(w.AudWin[i]) != w.Config.AudienceDim {
+			return fmt.Errorf("aovlis: snapshot window row %d has dims %d/%d, config wants %d/%d",
+				i, len(w.ActWin[i]), len(w.AudWin[i]), w.Config.ActionDim, w.Config.AudienceDim)
+		}
+	}
+	if w.Observed < 0 || w.Detected < 0 {
+		return fmt.Errorf("aovlis: snapshot counters negative (%d observed, %d detected)", w.Observed, w.Detected)
+	}
+	if w.HasUpdater && !w.Config.EnableUpdate {
+		return fmt.Errorf("aovlis: snapshot carries updater state but EnableUpdate is off")
+	}
+	if w.Config.EnableUpdate && !w.HasUpdater {
+		// An uninterrupted EnableUpdate detector always owns an updater
+		// (Train/initRuntime guarantee it); restoring without one would
+		// silently never retrain again.
+		return fmt.Errorf("aovlis: snapshot config enables updates but carries no updater state")
+	}
+	return nil
 }

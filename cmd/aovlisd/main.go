@@ -11,19 +11,36 @@
 //	                              that segment, streamed as it is made.
 //	                              The channel is created on first use.
 //	GET  /channels/{id}/stats     per-channel counters as JSON
+//	GET  /channels/{id}/snapshot  export the channel's quiesced runtime
+//	                              snapshot (migration send half)
+//	PUT  /channels/{id}/snapshot  attach a channel restored from an uploaded
+//	                              snapshot (migration receive half)
 //	GET  /channels                all channels' counters as JSON
+//	POST /snapshot                with -snapshot-dir: checkpoint every
+//	                              channel now; returns the commit report
 //	GET  /healthz                 liveness + pool totals
 //	GET  /debug/pprof/*           with -pprof: CPU/heap/alloc/trace profiles
 //	                              (BENCH.md §4)
+//
+// With -snapshot-dir the daemon becomes crash-safe: it checkpoints every
+// channel periodically (-snapshot-every) and on graceful shutdown, and on
+// boot it warm-restarts every channel found in the directory's manifest —
+// sliding windows, thresholds and pending update samples included — so
+// detection resumes exactly where the previous process stopped instead of
+// cold-starting every window (ARCHITECTURE.md §9, README "Operations").
 //
 // Usage:
 //
 //	aovlisd -addr :8080 -preset INF -train-sec 420
 //	aovlisd -load model.bin -shards 8 -policy drop
+//	aovlisd -load model.bin -snapshot-dir /var/lib/aovlis -snapshot-every 30s
 //
 //	curl -N -XPOST --data-binary @features.ndjson \
 //	    localhost:8080/channels/alice/observe
 //	curl localhost:8080/channels/alice/stats
+//	curl -XPOST localhost:8080/snapshot
+//	curl localhost:8080/channels/alice/snapshot > alice.snap   # migrate out
+//	curl -XPUT --data-binary @alice.snap localhost:9090/channels/alice/snapshot
 package main
 
 import (
@@ -33,66 +50,115 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io/fs"
 	"net/http"
 	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"syscall"
 	"time"
 
 	"aovlis"
 	"aovlis/internal/dataset"
 	"aovlis/internal/serve"
+	"aovlis/internal/snapshot"
 	"aovlis/internal/synth"
 )
 
+// options collects the daemon's command-line configuration.
+type options struct {
+	addr          string
+	presetName    string
+	trainSec      int
+	classes       int
+	epochs        int
+	seed          int64
+	loadPath      string
+	shards        int
+	queueDepth    int
+	policyName    string
+	maxChannels   int
+	enablePprof   bool
+	snapshotDir   string
+	snapshotEvery time.Duration
+}
+
 func main() {
-	var (
-		addr        = flag.String("addr", ":8080", "listen address")
-		presetName  = flag.String("preset", "INF", "training stream preset: INF, SPE, TED or TWI")
-		trainSec    = flag.Int("train-sec", 420, "training stream length (seconds)")
-		classes     = flag.Int("classes", 48, "action feature classes (d1)")
-		epochs      = flag.Int("epochs", 10, "training epochs")
-		seed        = flag.Int64("seed", 1, "random seed")
-		loadPath    = flag.String("load", "", "load a saved detector instead of training")
-		shards      = flag.Int("shards", 4, "detector pool shards (worker goroutines)")
-		queueDepth  = flag.Int("queue", 256, "per-shard ingest queue depth")
-		policyName  = flag.String("policy", "block", "queue overflow policy: block or drop")
-		maxChannels = flag.Int("max-channels", 1024, "maximum concurrently attached channels")
-		enablePprof = flag.Bool("pprof", false, "serve /debug/pprof profiling endpoints (BENCH.md §4); exposes process internals, enable only on trusted listeners")
-	)
+	var o options
+	flag.StringVar(&o.addr, "addr", ":8080", "listen address")
+	flag.StringVar(&o.presetName, "preset", "INF", "training stream preset: INF, SPE, TED or TWI")
+	flag.IntVar(&o.trainSec, "train-sec", 420, "training stream length (seconds)")
+	flag.IntVar(&o.classes, "classes", 48, "action feature classes (d1)")
+	flag.IntVar(&o.epochs, "epochs", 10, "training epochs")
+	flag.Int64Var(&o.seed, "seed", 1, "random seed")
+	flag.StringVar(&o.loadPath, "load", "", "load a saved detector instead of training")
+	flag.IntVar(&o.shards, "shards", 4, "detector pool shards (worker goroutines)")
+	flag.IntVar(&o.queueDepth, "queue", 256, "per-shard ingest queue depth")
+	flag.StringVar(&o.policyName, "policy", "block", "queue overflow policy: block or drop")
+	flag.IntVar(&o.maxChannels, "max-channels", 1024, "maximum concurrently attached channels")
+	flag.BoolVar(&o.enablePprof, "pprof", false, "serve /debug/pprof profiling endpoints (BENCH.md §4); exposes process internals, enable only on trusted listeners")
+	flag.StringVar(&o.snapshotDir, "snapshot-dir", "", "crash-safe checkpoint directory: restore channels from it on boot, checkpoint into it periodically, on POST /snapshot and on graceful shutdown")
+	flag.DurationVar(&o.snapshotEvery, "snapshot-every", 0, "with -snapshot-dir: checkpoint every channel at this interval (0 disables periodic snapshots)")
 	flag.Parse()
 
-	if err := run(*addr, *presetName, *trainSec, *classes, *epochs, *seed, *loadPath,
-		*shards, *queueDepth, *policyName, *maxChannels, *enablePprof); err != nil {
+	if err := run(o); err != nil {
 		fmt.Fprintln(os.Stderr, "aovlisd:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, presetName string, trainSec, classes, epochs int, seed int64, loadPath string,
-	shards, queueDepth int, policyName string, maxChannels int, enablePprof bool) error {
-	policy, err := serve.ParsePolicy(policyName)
+// buildPool warm-restarts the pool from the snapshot directory when one is
+// committed there, and starts empty only when no snapshot exists yet. Any
+// other manifest problem (corruption, permissions) aborts boot: silently
+// cold-starting would let the next periodic checkpoint overwrite the still-
+// recoverable previous state.
+func buildPool(o options, cfg serve.Config) (*serve.DetectorPool, error) {
+	if o.snapshotDir != "" {
+		switch _, err := snapshot.ReadManifest(o.snapshotDir); {
+		case err == nil:
+			pool, err := serve.RestorePool(o.snapshotDir, cfg)
+			if err != nil {
+				return nil, fmt.Errorf("restoring pool from %s: %w", o.snapshotDir, err)
+			}
+			fmt.Printf("warm restart: restored %d channels from %s\n", len(pool.Channels()), o.snapshotDir)
+			return pool, nil
+		case errors.Is(err, fs.ErrNotExist):
+			// First boot into this directory: start empty.
+		default:
+			return nil, fmt.Errorf("snapshot dir %s is present but unreadable (fix or remove it before booting): %w", o.snapshotDir, err)
+		}
+	}
+	return serve.NewDetectorPool(cfg)
+}
+
+func run(o options) error {
+	policy, err := serve.ParsePolicy(o.policyName)
 	if err != nil {
 		return err
 	}
-	template, err := buildTemplate(presetName, trainSec, classes, epochs, seed, loadPath)
+	if o.snapshotEvery < 0 || (o.snapshotEvery > 0 && o.snapshotDir == "") {
+		return fmt.Errorf("-snapshot-every needs -snapshot-dir and a non-negative interval")
+	}
+	template, err := buildTemplate(o.presetName, o.trainSec, o.classes, o.epochs, o.seed, o.loadPath)
 	if err != nil {
 		return err
 	}
-	pool, err := serve.NewDetectorPool(serve.Config{Shards: shards, QueueDepth: queueDepth, Policy: policy})
+	pool, err := buildPool(o, serve.Config{Shards: o.shards, QueueDepth: o.queueDepth, Policy: policy})
 	if err != nil {
 		return err
 	}
 
-	d := &daemon{pool: pool, template: template, maxChannels: maxChannels, started: time.Now()}
+	d := &daemon{pool: pool, template: template, maxChannels: o.maxChannels,
+		snapshotDir: o.snapshotDir, started: time.Now()}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", d.handleHealth)
 	mux.HandleFunc("/channels", d.handleList)
 	mux.HandleFunc("/channels/", d.handleChannel)
-	if enablePprof {
+	mux.HandleFunc("/snapshot", d.handleSnapshot)
+	if o.enablePprof {
 		// Profiling endpoints: the perf methodology in BENCH.md captures
 		// CPU, heap, allocation and execution-trace profiles against a live
 		// daemon. Opt-in because profiles leak process internals and a
@@ -103,14 +169,17 @@ func run(addr, presetName string, trainSec, classes, epochs int, seed int64, loa
 		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	}
-	srv := &http.Server{Addr: addr, Handler: mux}
+	srv := &http.Server{Addr: o.addr, Handler: mux}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	if o.snapshotEvery > 0 {
+		go d.snapshotLoop(ctx, o.snapshotEvery)
+	}
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
 	fmt.Printf("aovlisd listening on %s (%d shards, queue %d, policy %s, τ = %.4f)\n",
-		addr, shards, queueDepth, policy, template.Tau())
+		o.addr, o.shards, o.queueDepth, policy, template.Tau())
 
 	select {
 	case err := <-errc:
@@ -124,7 +193,47 @@ func run(addr, presetName string, trainSec, classes, epochs int, seed int64, loa
 	if err := srv.Shutdown(shCtx); err != nil {
 		return err
 	}
+	// Final checkpoint after the listener drained (no more submissions) and
+	// before the pool stops: a graceful shutdown is always warm-restartable.
+	// snapshotNow's mutex waits out a periodic checkpoint still in flight.
+	if o.snapshotDir != "" {
+		if rep, err := d.snapshotNow(); err != nil {
+			fmt.Fprintf(os.Stderr, "aovlisd: final snapshot failed: %v\n", err)
+		} else {
+			fmt.Printf("final snapshot: %d channels, %d bytes in %s\n", rep.Channels, rep.Bytes, rep.Elapsed)
+		}
+	}
 	return pool.Close()
+}
+
+// snapshotNow runs one serialised checkpoint into the snapshot directory.
+// All checkpoint paths (periodic loop, POST /snapshot, final shutdown
+// snapshot) go through here so they can never interleave in the directory.
+func (d *daemon) snapshotNow() (serve.Report, error) {
+	d.snapMu.Lock()
+	defer d.snapMu.Unlock()
+	rep, err := d.pool.Snapshot(d.snapshotDir)
+	if err == nil {
+		d.lastSnapshot.Store(time.Now().UnixNano())
+	}
+	return rep, err
+}
+
+// snapshotLoop checkpoints the pool at the configured cadence until the
+// daemon begins shutting down.
+func (d *daemon) snapshotLoop(ctx context.Context, every time.Duration) {
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			if _, err := d.snapshotNow(); err != nil {
+				fmt.Fprintf(os.Stderr, "aovlisd: periodic snapshot failed: %v\n", err)
+			}
+		}
+	}
 }
 
 // buildTemplate trains a detector on a normal synthetic stream or loads a
@@ -172,7 +281,17 @@ type daemon struct {
 	pool        *serve.DetectorPool
 	template    *aovlis.Detector
 	maxChannels int
+	snapshotDir string
 	started     time.Time
+
+	// lastSnapshot is the UnixNano of the last successful checkpoint (0 if
+	// none), reported by /healthz.
+	lastSnapshot atomic.Int64
+
+	// snapMu serialises checkpoints into snapshotDir: the periodic loop,
+	// POST /snapshot and the final shutdown snapshot must never interleave
+	// (concurrent Snapshots into one directory race on the manifest).
+	snapMu sync.Mutex
 
 	// attachMu serialises channel creation so concurrent first-observes of
 	// one id clone the template exactly once.
@@ -245,6 +364,8 @@ func (d *daemon) handleChannel(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		writeJSON(w, st)
+	case "snapshot":
+		d.handleChannelSnapshot(w, r, id)
 	default:
 		http.Error(w, fmt.Sprintf("unknown channel action %q", verb), http.StatusNotFound)
 	}
@@ -312,6 +433,73 @@ func (d *daemon) handleObserve(w http.ResponseWriter, r *http.Request, id string
 	}
 }
 
+// handleChannelSnapshot is the channel-migration endpoint pair: GET streams
+// the channel's quiesced runtime snapshot (export), PUT attaches a channel
+// restored from the uploaded snapshot (import). Together they move a live
+// channel between daemons without losing its window, threshold adaptation
+// or pending update samples.
+func (d *daemon) handleChannelSnapshot(w http.ResponseWriter, r *http.Request, id string) {
+	switch r.Method {
+	case http.MethodGet:
+		w.Header().Set("Content-Type", "application/octet-stream")
+		if err := d.pool.ExportChannel(id, w); err != nil {
+			// Headers may already be out; a mid-stream failure surfaces as a
+			// truncated body, which the importer's envelope check rejects.
+			http.Error(w, err.Error(), statusForPoolErr(err))
+		}
+	case http.MethodPut:
+		d.attachMu.Lock()
+		defer d.attachMu.Unlock()
+		if n := len(d.pool.Channels()); n >= d.maxChannels {
+			http.Error(w, fmt.Sprintf("channel limit reached (%d)", d.maxChannels), http.StatusServiceUnavailable)
+			return
+		}
+		if err := d.pool.AttachSnapshot(id, r.Body); err != nil {
+			http.Error(w, err.Error(), statusForPoolErr(err))
+			return
+		}
+		w.WriteHeader(http.StatusCreated)
+		fmt.Fprintf(w, "channel %q attached from snapshot\n", id)
+	default:
+		http.Error(w, "snapshot wants GET (export) or PUT (import)", http.StatusMethodNotAllowed)
+	}
+}
+
+// statusForPoolErr maps pool errors onto HTTP statuses.
+func statusForPoolErr(err error) int {
+	switch {
+	case errors.Is(err, serve.ErrUnknownChannel):
+		return http.StatusNotFound
+	case errors.Is(err, serve.ErrChannelExists):
+		return http.StatusConflict
+	case errors.Is(err, serve.ErrNotSnapshottable):
+		return http.StatusUnprocessableEntity
+	case errors.Is(err, serve.ErrClosed):
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusBadRequest
+	}
+}
+
+// handleSnapshot checkpoints every channel on demand (POST /snapshot) and
+// returns the commit report.
+func (d *daemon) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "snapshot wants POST", http.StatusMethodNotAllowed)
+		return
+	}
+	if d.snapshotDir == "" {
+		http.Error(w, "snapshots disabled: start aovlisd with -snapshot-dir", http.StatusPreconditionFailed)
+		return
+	}
+	rep, err := d.snapshotNow()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	writeJSON(w, rep)
+}
+
 // handleList reports every channel's counters.
 func (d *daemon) handleList(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
@@ -324,11 +512,18 @@ func (d *daemon) handleList(w http.ResponseWriter, r *http.Request) {
 // handleHealth is the liveness endpoint.
 func (d *daemon) handleHealth(w http.ResponseWriter, r *http.Request) {
 	ps := d.pool.PoolStats()
-	writeJSON(w, map[string]interface{}{
+	resp := map[string]interface{}{
 		"status":         "ok",
 		"uptime_seconds": int(time.Since(d.started).Seconds()),
 		"pool":           ps,
-	})
+	}
+	if d.snapshotDir != "" {
+		resp["snapshot_dir"] = d.snapshotDir
+		if ns := d.lastSnapshot.Load(); ns > 0 {
+			resp["last_snapshot_age_seconds"] = int(time.Since(time.Unix(0, ns)).Seconds())
+		}
+	}
+	writeJSON(w, resp)
 }
 
 func writeJSON(w http.ResponseWriter, v interface{}) {

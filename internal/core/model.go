@@ -9,6 +9,7 @@ import (
 	"aovlis/internal/ad"
 	"aovlis/internal/mat"
 	"aovlis/internal/nn"
+	"aovlis/internal/snapshot"
 )
 
 // Model is the CLSTM with decoder layers: M(S_I, S_A, θ_p) → (Î, Â)
@@ -317,21 +318,51 @@ func (c Config) ctxEqual(o Config) bool {
 		c.SeqLen == o.SeqLen && c.Coupling == o.Coupling
 }
 
-// modelWire is the gob envelope for Save/Load.
+// modelWire is the gob payload header for Save/Load, written after the
+// versioned snapshot envelope. HasOpt marks whether optimiser state follows
+// the parameters (SaveRuntime writes it, Save does not).
 type modelWire struct {
 	Config Config
+	HasOpt bool
 }
 
-// Save serialises the model configuration and parameters.
-func (m *Model) Save(w io.Writer) error {
-	if err := gob.NewEncoder(w).Encode(modelWire{Config: m.cfg}); err != nil {
+// Save serialises the model inside a versioned, self-describing snapshot
+// envelope: configuration and parameters, without optimiser state. Use
+// SaveRuntime to also capture the optimiser so training resumes
+// bit-identically.
+func (m *Model) Save(w io.Writer) error { return m.save(w, false) }
+
+// SaveRuntime serialises the full model runtime — configuration,
+// parameters and Adam optimiser state (step count and moment estimates) —
+// inside the same versioned envelope Save uses. A model restored from it
+// continues training with bit-identical updates; Detector.Snapshot builds
+// on this.
+func (m *Model) SaveRuntime(w io.Writer) error { return m.save(w, true) }
+
+func (m *Model) save(w io.Writer, withOpt bool) error {
+	if err := snapshot.WriteHeader(w, snapshot.KindModel); err != nil {
+		return err
+	}
+	if err := gob.NewEncoder(w).Encode(modelWire{Config: m.cfg, HasOpt: withOpt}); err != nil {
 		return fmt.Errorf("core: encoding model header: %w", err)
 	}
-	return m.ps.Save(w)
+	if err := m.ps.Save(w); err != nil {
+		return err
+	}
+	if withOpt {
+		return m.opt.Save(w)
+	}
+	return nil
 }
 
-// LoadModel reconstructs a model previously written with Save.
+// LoadModel reconstructs a model previously written with Save or
+// SaveRuntime. It accepts any snapshot codec version still supported (see
+// internal/snapshot) and restores optimiser state when present.
 func LoadModel(r io.Reader) (*Model, error) {
+	r = snapshot.Reader(r)
+	if _, err := snapshot.ReadHeader(r, snapshot.KindModel); err != nil {
+		return nil, err
+	}
 	var wire modelWire
 	if err := gob.NewDecoder(r).Decode(&wire); err != nil {
 		return nil, fmt.Errorf("core: decoding model header: %w", err)
@@ -342,6 +373,14 @@ func LoadModel(r io.Reader) (*Model, error) {
 	}
 	if err := m.ps.Load(r); err != nil {
 		return nil, err
+	}
+	if wire.HasOpt {
+		if err := m.opt.Load(r); err != nil {
+			return nil, err
+		}
+		if err := m.opt.CheckShapes(m.ps); err != nil {
+			return nil, fmt.Errorf("core: model optimiser state: %w", err)
+		}
 	}
 	return m, nil
 }

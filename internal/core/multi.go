@@ -9,6 +9,7 @@ import (
 	"aovlis/internal/ad"
 	"aovlis/internal/mat"
 	"aovlis/internal/nn"
+	"aovlis/internal/snapshot"
 )
 
 // This file implements the generalisation the paper claims for CLSTM
@@ -403,26 +404,62 @@ func windowAt(series [][][]float64, t, q int) (seqs [][][]float64, targets [][]f
 	return seqs, targets
 }
 
-// Save serialises the multi-stream model.
-func (m *MultiModel) Save(w io.Writer) error {
-	if err := gob.NewEncoder(w).Encode(m.cfg); err != nil {
-		return fmt.Errorf("core: encoding multi-model header: %w", err)
-	}
-	return m.ps.Save(w)
+// multiWire is the gob payload header for Save/Load, written after the
+// versioned snapshot envelope (same protocol as modelWire).
+type multiWire struct {
+	Config MultiConfig
+	HasOpt bool
 }
 
-// LoadMultiModel restores a model written by Save.
+// Save serialises the multi-stream model inside a versioned,
+// self-describing snapshot envelope (configuration and parameters, no
+// optimiser state).
+func (m *MultiModel) Save(w io.Writer) error { return m.save(w, false) }
+
+// SaveRuntime additionally captures the Adam optimiser state so training
+// resumes bit-identically.
+func (m *MultiModel) SaveRuntime(w io.Writer) error { return m.save(w, true) }
+
+func (m *MultiModel) save(w io.Writer, withOpt bool) error {
+	if err := snapshot.WriteHeader(w, snapshot.KindMultiModel); err != nil {
+		return err
+	}
+	if err := gob.NewEncoder(w).Encode(multiWire{Config: m.cfg, HasOpt: withOpt}); err != nil {
+		return fmt.Errorf("core: encoding multi-model header: %w", err)
+	}
+	if err := m.ps.Save(w); err != nil {
+		return err
+	}
+	if withOpt {
+		return m.opt.Save(w)
+	}
+	return nil
+}
+
+// LoadMultiModel restores a model written by Save or SaveRuntime.
 func LoadMultiModel(r io.Reader) (*MultiModel, error) {
-	var cfg MultiConfig
-	if err := gob.NewDecoder(r).Decode(&cfg); err != nil {
+	r = snapshot.Reader(r)
+	if _, err := snapshot.ReadHeader(r, snapshot.KindMultiModel); err != nil {
+		return nil, err
+	}
+	var wire multiWire
+	if err := gob.NewDecoder(r).Decode(&wire); err != nil {
 		return nil, fmt.Errorf("core: decoding multi-model header: %w", err)
 	}
-	m, err := NewMultiModel(cfg)
+	m, err := NewMultiModel(wire.Config)
 	if err != nil {
 		return nil, err
 	}
 	if err := m.ps.Load(r); err != nil {
 		return nil, err
+	}
+	if wire.HasOpt {
+		if err := m.opt.Load(r); err != nil {
+			return nil, err
+		}
+		if err := m.opt.CheckShapes(m.ps); err != nil {
+			return nil, fmt.Errorf("core: multi-model optimiser state: %w", err)
+		}
 	}
 	return m, nil
 }

@@ -2,6 +2,7 @@ package nn
 
 import (
 	"bytes"
+	"encoding/gob"
 	"math"
 	"math/rand"
 	"testing"
@@ -388,5 +389,117 @@ func BenchmarkAdamStep(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		opt.Step(ps, grads)
+	}
+}
+
+// TestAdamSaveLoadResumesIdentically snapshots the optimiser mid-training
+// and requires a restored copy to produce bit-identical parameter updates —
+// the optimiser half of the model runtime snapshot (core.Model.SaveRuntime).
+func TestAdamSaveLoadResumesIdentically(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	ps := NewParamSet()
+	NewDense(ps, "d", 4, 3, Linear, rng)
+	NewLSTMCell(ps, "l", 6, 4, rng)
+	grads := func(seed int64) map[string]*mat.Matrix {
+		g := make(map[string]*mat.Matrix)
+		grng := rand.New(rand.NewSource(seed))
+		for _, n := range ps.Names() {
+			p := ps.Get(n)
+			m := mat.New(p.Rows, p.Cols)
+			for i := range m.Data {
+				m.Data[i] = grng.NormFloat64()
+			}
+			g[n] = m
+		}
+		return g
+	}
+	opt := NewAdam(0.01)
+	for s := int64(0); s < 3; s++ {
+		opt.Step(ps, grads(100+s))
+	}
+
+	// Snapshot parameters + optimiser, restore into a parallel universe.
+	var obuf, pbuf bytes.Buffer
+	if err := opt.Save(&obuf); err != nil {
+		t.Fatal(err)
+	}
+	if err := ps.Save(&pbuf); err != nil {
+		t.Fatal(err)
+	}
+	ps2 := ps.Clone()
+	if err := ps2.Load(&pbuf); err != nil {
+		t.Fatal(err)
+	}
+	opt2 := NewAdam(0.99) // junk hyperparameters: Load must overwrite them
+	if err := opt2.Load(&obuf); err != nil {
+		t.Fatal(err)
+	}
+	if opt2.LR != opt.LR || opt2.ClipNorm != opt.ClipNorm {
+		t.Fatalf("hyperparameters not restored: %+v", opt2)
+	}
+
+	for s := int64(0); s < 3; s++ {
+		opt.Step(ps, grads(200+s))
+		opt2.Step(ps2, grads(200+s))
+	}
+	for _, n := range ps.Names() {
+		a, b := ps.Get(n), ps2.Get(n)
+		for i := range a.Data {
+			if math.Float64bits(a.Data[i]) != math.Float64bits(b.Data[i]) {
+				t.Fatalf("post-restore training diverged at %s[%d]: %v vs %v", n, i, a.Data[i], b.Data[i])
+			}
+		}
+	}
+}
+
+func TestAdamLoadRejectsMalformedState(t *testing.T) {
+	opt := NewAdam(0.01)
+	if err := opt.Load(bytes.NewBufferString("garbage")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(adamWire{
+		Names: []string{"w"}, Rows: []int{2}, Cols: []int{2},
+		M: [][]float64{{1}}, V: [][]float64{{1}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := opt.Load(&buf); err == nil {
+		t.Fatal("shape/value mismatch accepted")
+	}
+}
+
+func TestAdamCheckShapes(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	ps := NewParamSet()
+	NewDense(ps, "d", 4, 3, Linear, rng)
+	opt := NewAdam(0.01)
+	g := map[string]*mat.Matrix{"d.W": mat.New(4, 3), "d.b": mat.New(1, 3)}
+	opt.Step(ps, g)
+	if err := opt.CheckShapes(ps); err != nil {
+		t.Fatalf("consistent state rejected: %v", err)
+	}
+	// A moment whose shape disagrees with the parameter, or that names no
+	// parameter at all, must be refused.
+	other := NewParamSet()
+	NewDense(other, "d", 5, 3, Linear, rng)
+	if err := opt.CheckShapes(other); err == nil {
+		t.Fatal("shape mismatch accepted")
+	}
+	empty := NewParamSet()
+	if err := opt.CheckShapes(empty); err == nil {
+		t.Fatal("unknown moment name accepted")
+	}
+	// Negative dimensions in the wire must be refused by Load even when
+	// rows*cols matches the data length.
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(adamWire{
+		Names: []string{"w"}, Rows: []int{-1}, Cols: []int{-1},
+		M: [][]float64{{1}}, V: [][]float64{{1}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := NewAdam(0.01).Load(&buf); err == nil {
+		t.Fatal("negative dimensions accepted")
 	}
 }

@@ -44,6 +44,17 @@ type filterStatser interface {
 	FilterStats() ados.Stats
 }
 
+// lifetimeCounter is implemented by detectors that carry stream-lifetime
+// counters across snapshots (notably *aovlis.Detector). Attach seeds the
+// channel's observed/detected counters from it, so a channel restored from
+// a snapshot reports whole-stream statistics, not just the post-restore
+// leg. Transport-local counters (warmups, drops, queue errors) belong to
+// the pool instance and restart at zero.
+type lifetimeCounter interface {
+	Observed() int
+	Detected() int
+}
+
 // OverflowPolicy selects what Submit does when a shard's ingest queue is
 // full.
 type OverflowPolicy int
@@ -133,12 +144,18 @@ type Outcome struct {
 	Err error
 }
 
-// job is one queued observation bound to its channel.
+// job is one queued observation bound to its channel, or — when control is
+// set — a control action the shard worker runs between observations. Control
+// jobs are how the snapshot subsystem quiesces a channel at a segment
+// boundary without stopping the shard: the worker executes jobs serially,
+// so a control job can never interleave with an Observe on the same shard.
 type job struct {
 	ch       *channel
 	action   []float64
 	audience []float64
 	out      chan Outcome // buffered(1): the worker's send never blocks
+
+	control func()
 }
 
 // channel is one attached stream with its confined detector and counters.
@@ -236,6 +253,10 @@ func NewDetectorPool(cfg Config) (*DetectorPool, error) {
 func (p *DetectorPool) runShard(s *shard) {
 	defer p.wg.Done()
 	for j := range s.queue {
+		if j.control != nil {
+			j.control()
+			continue
+		}
 		j.ch.pending.Add(-1)
 		res, err := j.ch.det.Observe(j.action, j.audience)
 		switch {
@@ -283,7 +304,21 @@ func (p *DetectorPool) Attach(id string, det Detector) error {
 		return fmt.Errorf("%w: %q", ErrChannelExists, id)
 	}
 	fs, _ := det.(filterStatser)
-	p.channels[id] = &channel{id: id, shard: p.shardFor(id), det: det, fstats: fs}
+	ch := &channel{id: id, shard: p.shardFor(id), det: det, fstats: fs}
+	if lc, ok := det.(lifetimeCounter); ok {
+		if n := lc.Observed(); n > 0 {
+			ch.observed.Store(uint64(n))
+		}
+		if n := lc.Detected(); n > 0 {
+			ch.detected.Store(uint64(n))
+		}
+	}
+	if fs != nil {
+		if n := fs.FilterStats().FilteredTotal(); n > 0 {
+			ch.filtered.Store(uint64(n))
+		}
+	}
+	p.channels[id] = ch
 	return nil
 }
 

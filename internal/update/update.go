@@ -260,6 +260,94 @@ func (u *Updater) Observe(sample core.Sample, interactionLevel float64) (Result,
 	return res, nil
 }
 
+// State is the updater's complete mutable runtime state, exported for
+// snapshots. Everything that influences future Observe behaviour is here:
+// the two Eq. 17 sketches, the buffered presumed-normal samples, the
+// adaptive interaction-threshold window, and the update counter (which
+// seeds the retraining rng, so restoring it keeps resumed retraining
+// bit-identical to an uninterrupted run).
+type State struct {
+	// HistorySum/HistoryCount are the S_h sketch (sum of unit hidden
+	// vectors plus member count); IncomingSum/IncomingCount are S_n.
+	HistorySum    []float64
+	HistoryCount  int
+	IncomingSum   []float64
+	IncomingCount int
+	// Buffer is n_tmp, the buffered presumed-normal training samples.
+	Buffer []core.Sample
+	// PrevWindowMean is the interaction threshold T; CurWindowSum and
+	// CurWindowN accumulate the next window.
+	PrevWindowMean float64
+	CurWindowSum   float64
+	CurWindowN     int
+	// Updates and Checks are the lifetime counters.
+	Updates int
+	Checks  int
+}
+
+// State returns a deep copy of the updater's runtime state.
+func (u *Updater) State() State {
+	st := State{
+		HistorySum:     append([]float64(nil), u.history.sum...),
+		HistoryCount:   u.history.count,
+		IncomingSum:    append([]float64(nil), u.incoming.sum...),
+		IncomingCount:  u.incoming.count,
+		PrevWindowMean: u.prevWindowMean,
+		CurWindowSum:   u.curWindowSum,
+		CurWindowN:     u.curWindowN,
+		Updates:        u.updates,
+		Checks:         u.checks,
+	}
+	st.Buffer = make([]core.Sample, len(u.buffer))
+	copy(st.Buffer, u.buffer)
+	return st
+}
+
+// SetState replaces the updater's runtime state with a previously exported
+// State (the snapshot-restore path). The state is copied in, so the caller
+// may keep mutating its State value. Dimensions are validated against the
+// model: a corrupted snapshot must fail here, not as an index panic inside
+// a later Observe or retrain.
+func (u *Updater) SetState(st State) error {
+	if st.HistoryCount < 0 || st.IncomingCount < 0 || st.CurWindowN < 0 || st.Updates < 0 || st.Checks < 0 {
+		return fmt.Errorf("update: negative counter in state")
+	}
+	cfg := u.model.Config()
+	if len(st.HistorySum) != 0 && len(st.HistorySum) != cfg.HiddenI {
+		return fmt.Errorf("update: history sketch has dim %d, model hidden is %d", len(st.HistorySum), cfg.HiddenI)
+	}
+	if len(st.IncomingSum) != 0 && len(st.IncomingSum) != cfg.HiddenI {
+		return fmt.Errorf("update: incoming sketch has dim %d, model hidden is %d", len(st.IncomingSum), cfg.HiddenI)
+	}
+	for i := range st.Buffer {
+		s := &st.Buffer[i]
+		if len(s.ActionSeq) != cfg.SeqLen || len(s.AudienceSeq) != cfg.SeqLen {
+			return fmt.Errorf("update: buffered sample %d has window %d/%d, model q is %d",
+				i, len(s.ActionSeq), len(s.AudienceSeq), cfg.SeqLen)
+		}
+		for t := 0; t < cfg.SeqLen; t++ {
+			if len(s.ActionSeq[t]) != cfg.ActionDim || len(s.AudienceSeq[t]) != cfg.AudienceDim {
+				return fmt.Errorf("update: buffered sample %d step %d has dims %d/%d, model wants %d/%d",
+					i, t, len(s.ActionSeq[t]), len(s.AudienceSeq[t]), cfg.ActionDim, cfg.AudienceDim)
+			}
+		}
+		if len(s.ActionTarget) != cfg.ActionDim || len(s.AudienceTarget) != cfg.AudienceDim {
+			return fmt.Errorf("update: buffered sample %d targets have dims %d/%d, model wants %d/%d",
+				i, len(s.ActionTarget), len(s.AudienceTarget), cfg.ActionDim, cfg.AudienceDim)
+		}
+	}
+	u.history = setSketch{sum: append([]float64(nil), st.HistorySum...), count: st.HistoryCount}
+	u.incoming = setSketch{sum: append([]float64(nil), st.IncomingSum...), count: st.IncomingCount}
+	u.buffer = make([]core.Sample, len(st.Buffer))
+	copy(u.buffer, st.Buffer)
+	u.prevWindowMean = st.PrevWindowMean
+	u.curWindowSum = st.CurWindowSum
+	u.curWindowN = st.CurWindowN
+	u.updates = st.Updates
+	u.checks = st.Checks
+	return nil
+}
+
 // applyUpdate trains CLSTM_new on the buffered segments (warm-started from
 // the current parameters) and merges it into the running model.
 func (u *Updater) applyUpdate() error {

@@ -351,3 +351,116 @@ func TestInteractionThresholdAdapts(t *testing.T) {
 		t.Fatalf("adapted T = %v, want 0.2", got)
 	}
 }
+
+// TestStateRoundTripResumesIdentically exports an updater's runtime state
+// mid-stream, seeds a fresh updater (over an identical model) with it, and
+// requires the two to stay in lockstep — buffer fills, drift checks and
+// merge updates included. This is the updater half of the detector
+// snapshot fidelity guarantee.
+func TestStateRoundTripResumesIdentically(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	m := testModel(t)
+	cfg := DefaultConfig()
+	cfg.MaxBuffer = 8
+	cfg.DriftThreshold = 0.9999 // drift readily: exercise applyUpdate on both sides
+	cfg.TrainEpochs = 2
+	u, err := New(m, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seed := makeSamples(t, rng, 20, 0)
+	if err := u.SeedHistory(seed[:6]); err != nil {
+		t.Fatal(err)
+	}
+	stream := makeSamples(t, rng, 40, 3)
+	for i := 0; i < 11; i++ {
+		if _, err := u.Observe(stream[i], 0.1); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	st := u.State()
+	m2 := m.Clone()
+	u2, err := New(m2, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := u2.SetState(st); err != nil {
+		t.Fatal(err)
+	}
+	// Mutating the exported state must not leak into the restored updater
+	// (SetState copies).
+	if len(st.HistorySum) > 0 {
+		st.HistorySum[0] = math.Inf(1)
+	}
+
+	for i := 11; i < len(stream); i++ {
+		want, err := u.Observe(stream[i], 0.1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := u2.Observe(stream[i], 0.1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want != got {
+			t.Fatalf("step %d diverged: %+v vs %+v", i, want, got)
+		}
+	}
+	if u.Updates() == 0 {
+		t.Fatal("stream never updated; drift path untested")
+	}
+	if u.Updates() != u2.Updates() || u.Checks() != u2.Checks() {
+		t.Fatalf("counters diverged: %d/%d vs %d/%d", u.Updates(), u.Checks(), u2.Updates(), u2.Checks())
+	}
+}
+
+func TestSetStateRejectsNegativeCounters(t *testing.T) {
+	u, err := New(testModel(t), DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, mut := range []func(*State){
+		func(s *State) { s.HistoryCount = -1 },
+		func(s *State) { s.IncomingCount = -1 },
+		func(s *State) { s.CurWindowN = -1 },
+		func(s *State) { s.Updates = -1 },
+		func(s *State) { s.Checks = -1 },
+	} {
+		st := u.State()
+		mut(&st)
+		if err := u.SetState(st); err == nil {
+			t.Fatal("negative counter accepted")
+		}
+	}
+}
+
+func TestSetStateRejectsMismatchedDimensions(t *testing.T) {
+	u, err := New(testModel(t), DefaultConfig()) // model: hidden 8, q 3, dims 8/4
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	good := makeSamples(t, rng, 10, 0)
+	for _, mut := range []func(*State){
+		func(s *State) { s.HistorySum = make([]float64, 3) },   // wrong sketch dim
+		func(s *State) { s.IncomingSum = make([]float64, 99) }, // wrong sketch dim
+		func(s *State) { s.Buffer = []core.Sample{{}} },        // empty windows
+		func(s *State) { b := good[0]; b.ActionSeq = b.ActionSeq[:2]; s.Buffer = []core.Sample{b} },
+		func(s *State) { b := good[0]; b.ActionTarget = b.ActionTarget[:3]; s.Buffer = []core.Sample{b} },
+	} {
+		st := u.State()
+		mut(&st)
+		if err := u.SetState(st); err == nil {
+			t.Fatal("mismatched state accepted")
+		}
+	}
+	// And a consistent state (correct dims everywhere) is accepted.
+	st := u.State()
+	st.HistorySum = make([]float64, 8)
+	st.HistoryCount = 1
+	st.Buffer = good[:2]
+	if err := u.SetState(st); err != nil {
+		t.Fatalf("consistent state rejected: %v", err)
+	}
+}

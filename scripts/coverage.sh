@@ -1,0 +1,28 @@
+#!/bin/sh
+# coverage.sh PROFILE FLOOR_FILE
+#
+# Computes the total statement coverage of an existing Go cover profile and
+# fails if it is below the floor recorded in FLOOR_FILE (a single line like
+# "70.0"). CI runs this after `go test -coverprofile` and uploads the
+# profile as an artifact; when coverage legitimately rises, ratchet the
+# floor up in the same PR (and never loosen it to make a PR pass — add
+# tests instead).
+set -eu
+
+profile=${1:?usage: coverage.sh PROFILE FLOOR_FILE}
+floor_file=${2:?usage: coverage.sh PROFILE FLOOR_FILE}
+
+floor=$(tr -d ' \n' < "$floor_file")
+total=$(go tool cover -func="$profile" | awk '/^total:/ {gsub(/%/, "", $NF); print $NF}')
+if [ -z "$total" ]; then
+    echo "coverage.sh: no total line in $profile" >&2
+    exit 2
+fi
+
+echo "total statement coverage: ${total}% (floor: ${floor}%)"
+# awk handles the float compare portably (sh has no float arithmetic).
+if awk -v t="$total" -v f="$floor" 'BEGIN { exit !(t < f) }'; then
+    echo "coverage.sh: FAIL — total coverage ${total}% dropped below the recorded floor ${floor}%" >&2
+    echo "coverage.sh: add tests for the new code, or (only for justified removals of tested code) lower scripts/coverage_floor.txt in this PR" >&2
+    exit 1
+fi
