@@ -159,6 +159,14 @@ type Detector struct {
 	fhatBuf []float64
 	ahatBuf []float64
 
+	// ObserveBatch scratch, reused across calls: the combined
+	// window+segment header sequence, the per-lane samples, and the lane
+	// prediction buffers (headers over one flat backing each). At a stable
+	// batch size ObserveBatch allocates nothing.
+	batchAct, batchAud   [][]float64
+	batchSamples         []core.Sample
+	batchFhat, batchAhat [][]float64
+
 	observed int
 	detected int
 
@@ -349,6 +357,213 @@ func (d *Detector) Observe(actionFeat, audienceFeat []float64) (Result, error) {
 	copy(d.audWin, d.audWin[1:])
 	d.audWin[len(d.audWin)-1] = audienceFeat
 	return res, nil
+}
+
+// ObserveBatch feeds n = len(actionFeats) consecutive segments of one
+// stream in a single call and fills results[0:n] with the per-segment
+// verdicts — the micro-batching form of Observe the serve layer's shard
+// workers use to amortise inference across a channel's pending queue.
+//
+// ObserveBatch is bit-identical to n sequential Observe calls: the i-th
+// lane's prediction window is the detector's window as it would stand
+// after segments 0..i-1, all full-window lanes are scored through
+// Model.PredictBatchInto (itself bit-identical to per-sample PredictInto),
+// and the filter/update pipeline then runs serially per lane in order.
+// The one subtlety is dynamic updates: predictions are made optimistically
+// with the weights at batch start, and if lane i's update step retrains
+// the model (moving the parameter version), the not-yet-consumed lanes
+// i+1.. are re-predicted with the new weights — exactly what the serial
+// path would have used. Updates are drift-triggered and rare, so the
+// replay cost is amortised away.
+//
+// It returns the number of fully processed segments. On error, processing
+// stops at the offending lane exactly as a serial Observe sequence would:
+// results[0:n] are valid, the window reflects segments 0..n-1, lane n's
+// error is returned, and lanes after n are untouched (the caller may
+// resubmit them). Like Observe, ObserveBatch is single-writer: a call
+// racing any other writer fails with ErrConcurrentObserve.
+func (d *Detector) ObserveBatch(actionFeats, audienceFeats [][]float64, results []Result) (int, error) {
+	if len(audienceFeats) != len(actionFeats) || len(results) < len(actionFeats) {
+		return 0, fmt.Errorf("aovlis: ObserveBatch slice lengths %d/%d/%d disagree",
+			len(actionFeats), len(audienceFeats), len(results))
+	}
+	if len(actionFeats) == 0 {
+		return 0, nil
+	}
+	if !d.observing.CompareAndSwap(0, 1) {
+		return 0, ErrConcurrentObserve
+	}
+	defer d.observing.Store(0)
+
+	// The maximal prefix of dimension-valid lanes; the first invalid lane
+	// (if any) gets its error after the prefix commits, exactly like a
+	// serial Observe sequence where a bad segment fails without touching
+	// the window or counters.
+	valid := len(actionFeats)
+	var dimErr error
+	for i := range actionFeats {
+		if len(actionFeats[i]) != d.cfg.ActionDim || len(audienceFeats[i]) != d.cfg.AudienceDim {
+			valid = i
+			dimErr = fmt.Errorf("aovlis: feature dims %d/%d, detector expects %d/%d",
+				len(actionFeats[i]), len(audienceFeats[i]), d.cfg.ActionDim, d.cfg.AudienceDim)
+			break
+		}
+	}
+	if valid == 0 {
+		return 0, dimErr
+	}
+
+	// Combined header sequence [window..., segments...]: lane i's window is
+	// the q rows ending just before segment i. Only headers are copied; the
+	// feature rows themselves are never written.
+	q := d.cfg.SeqLen
+	w0 := len(d.actWin)
+	d.batchAct = append(d.batchAct[:0], d.actWin...)
+	d.batchAud = append(d.batchAud[:0], d.audWin...)
+	d.batchAct = append(d.batchAct, actionFeats[:valid]...)
+	d.batchAud = append(d.batchAud, audienceFeats[:valid]...)
+
+	// Lanes still inside warm-up form a prefix (the window only grows).
+	warm := 0
+	if w0 < q {
+		warm = q - w0
+		if warm > valid {
+			warm = valid
+		}
+	}
+	base := d.observed
+	d.batchSamples = d.batchSamples[:0]
+	for i := warm; i < valid; i++ {
+		start := w0 + i - q
+		d.batchSamples = append(d.batchSamples, core.Sample{
+			ActionSeq:      d.batchAct[start : start+q],
+			AudienceSeq:    d.batchAud[start : start+q],
+			ActionTarget:   actionFeats[i],
+			AudienceTarget: audienceFeats[i],
+			Index:          base + i,
+		})
+	}
+	d.ensureBatchBufs(len(d.batchSamples))
+	commit := func(n int) {
+		end := w0 + n
+		start := end - q
+		if start < 0 {
+			start = 0
+		}
+		d.actWin = append(d.actWin[:0], d.batchAct[start:end]...)
+		d.audWin = append(d.audWin[:0], d.batchAud[start:end]...)
+	}
+
+	if len(d.batchSamples) > 0 {
+		// Unreachable after the lane validation above (the samples and
+		// buffers are built to shape), kept as defence in depth with exact
+		// serial semantics: the warm-up prefix succeeds, then the first
+		// predicting lane counts itself observed and fails with the window
+		// holding the warm-up appends only.
+		if err := d.model.PredictBatchInto(d.batchSamples, d.batchFhat[:len(d.batchSamples)], d.batchAhat[:len(d.batchSamples)]); err != nil {
+			for i := 0; i < warm; i++ {
+				d.observed++
+				results[i] = Result{Warmup: true}
+			}
+			d.observed++ // the failing lane
+			commit(warm)
+			releaseBatchRefs(d.batchAct, d.batchAud, d.batchSamples)
+			return warm, err
+		}
+	}
+	version := d.model.Params().Version()
+	for i := 0; i < valid; i++ {
+		d.observed++
+		if i < warm {
+			results[i] = Result{Warmup: true}
+			continue
+		}
+		si := i - warm
+		fres, err := d.filter.Decide(actionFeats[i], d.batchFhat[si], audienceFeats[i], d.batchAhat[si])
+		if err != nil {
+			commit(i)
+			releaseBatchRefs(d.batchAct, d.batchAud, d.batchSamples)
+			return i, err
+		}
+		results[i] = Result{
+			Anomaly: fres.Anomaly,
+			Score:   fres.REIA,
+			Exact:   fres.Exact,
+			Path:    fres.Path.String(),
+		}
+		if results[i].Anomaly {
+			d.detected++
+		}
+		if d.upd != nil {
+			s := &d.batchSamples[si]
+			buffered := core.Sample{
+				ActionSeq:      copyWindow(s.ActionSeq),
+				AudienceSeq:    copyWindow(s.AudienceSeq),
+				ActionTarget:   actionFeats[i],
+				AudienceTarget: audienceFeats[i],
+				Index:          s.Index,
+			}
+			upRes, err := d.upd.Observe(buffered, interactionLevel(audienceFeats[i]))
+			if err != nil {
+				commit(i)
+				releaseBatchRefs(d.batchAct, d.batchAud, d.batchSamples)
+				return i, fmt.Errorf("aovlis: dynamic update: %w", err)
+			}
+			results[i].Updated = upRes.Updated
+			// A retrain invalidates the optimistic predictions: replay the
+			// remaining lanes with the post-update weights, which is what
+			// the serial path would have predicted them with.
+			if v := d.model.Params().Version(); v != version {
+				version = v
+				if rest := len(d.batchSamples) - (si + 1); rest > 0 {
+					if err := d.model.PredictBatchInto(d.batchSamples[si+1:], d.batchFhat[si+1:si+1+rest], d.batchAhat[si+1:si+1+rest]); err != nil {
+						// Defence in depth (see above): serially, lane i+1
+						// would count itself observed and then fail its
+						// predict with the window unmoved past lane i.
+						d.observed++
+						commit(i + 1)
+						releaseBatchRefs(d.batchAct, d.batchAud, d.batchSamples)
+						return i + 1, err
+					}
+				}
+			}
+		}
+	}
+	commit(valid)
+	releaseBatchRefs(d.batchAct, d.batchAud, d.batchSamples)
+	return valid, dimErr
+}
+
+// ensureBatchBufs sizes the lane prediction buffers (headers over one flat
+// backing each) for n lanes, reallocating only on growth.
+func (d *Detector) ensureBatchBufs(n int) {
+	if cap(d.batchFhat) >= n {
+		d.batchFhat = d.batchFhat[:n]
+		d.batchAhat = d.batchAhat[:n]
+		return
+	}
+	d.batchFhat = make([][]float64, n)
+	d.batchAhat = make([][]float64, n)
+	fdata := make([]float64, n*d.cfg.ActionDim)
+	adata := make([]float64, n*d.cfg.AudienceDim)
+	for i := 0; i < n; i++ {
+		d.batchFhat[i] = fdata[i*d.cfg.ActionDim : (i+1)*d.cfg.ActionDim]
+		d.batchAhat[i] = adata[i*d.cfg.AudienceDim : (i+1)*d.cfg.AudienceDim]
+	}
+}
+
+// releaseBatchRefs drops caller feature headers from the reused batch
+// scratch so they are not pinned past the call.
+func releaseBatchRefs(act, aud [][]float64, samples []core.Sample) {
+	for i := range act {
+		act[i] = nil
+	}
+	for i := range aud {
+		aud[i] = nil
+	}
+	for i := range samples {
+		samples[i] = core.Sample{}
+	}
 }
 
 // copyWindow duplicates the outer slice headers; the per-segment feature

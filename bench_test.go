@@ -164,6 +164,29 @@ func BenchmarkObserveAllocs(b *testing.B) {
 	}
 }
 
+// BenchmarkObserveBatchAllocs measures the steady-state allocation profile
+// of the micro-batched detection path at a fixed batch size
+// (TestObserveBatchSteadyStateAllocs pins it at zero). The ns/op divided
+// by the batch size is the amortised per-segment cost.
+func BenchmarkObserveBatchAllocs(b *testing.B) {
+	det, actions, audience := allocFixtureDetector(b, true)
+	const batch = 8
+	results := make([]Result, batch)
+	idx := 0
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if idx+batch > len(actions) {
+			idx = 0
+		}
+		if _, err := det.ObserveBatch(actions[idx:idx+batch], audience[idx:idx+batch], results); err != nil {
+			b.Fatal(err)
+		}
+		idx += batch
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/batch, "ns/segment")
+}
+
 // BenchmarkTrainStepAllocs measures the steady-state per-step allocation
 // profile of CLSTM training (TestTrainStepSteadyStateAllocs pins it at
 // zero).

@@ -79,6 +79,7 @@ type options struct {
 	loadPath      string
 	shards        int
 	queueDepth    int
+	batch         int
 	policyName    string
 	maxChannels   int
 	enablePprof   bool
@@ -97,6 +98,7 @@ func main() {
 	flag.StringVar(&o.loadPath, "load", "", "load a saved detector instead of training")
 	flag.IntVar(&o.shards, "shards", 4, "detector pool shards (worker goroutines)")
 	flag.IntVar(&o.queueDepth, "queue", 256, "per-shard ingest queue depth")
+	flag.IntVar(&o.batch, "batch", 16, "micro-batching drain cap: segments a shard worker scores per wake-up through the batched inference path (0 or 1 disables; scores are bit-identical either way)")
 	flag.StringVar(&o.policyName, "policy", "block", "queue overflow policy: block or drop")
 	flag.IntVar(&o.maxChannels, "max-channels", 1024, "maximum concurrently attached channels")
 	flag.BoolVar(&o.enablePprof, "pprof", false, "serve /debug/pprof profiling endpoints (BENCH.md §4); exposes process internals, enable only on trusted listeners")
@@ -146,30 +148,14 @@ func run(o options) error {
 	if err != nil {
 		return err
 	}
-	pool, err := buildPool(o, serve.Config{Shards: o.shards, QueueDepth: o.queueDepth, Policy: policy})
+	pool, err := buildPool(o, serve.Config{Shards: o.shards, QueueDepth: o.queueDepth, Policy: policy, Batch: o.batch})
 	if err != nil {
 		return err
 	}
 
 	d := &daemon{pool: pool, template: template, maxChannels: o.maxChannels,
-		snapshotDir: o.snapshotDir, started: time.Now()}
-	mux := http.NewServeMux()
-	mux.HandleFunc("/healthz", d.handleHealth)
-	mux.HandleFunc("/channels", d.handleList)
-	mux.HandleFunc("/channels/", d.handleChannel)
-	mux.HandleFunc("/snapshot", d.handleSnapshot)
-	if o.enablePprof {
-		// Profiling endpoints: the perf methodology in BENCH.md captures
-		// CPU, heap, allocation and execution-trace profiles against a live
-		// daemon. Opt-in because profiles leak process internals and a
-		// repeated /profile capture degrades detection latency.
-		mux.HandleFunc("/debug/pprof/", pprof.Index)
-		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
-		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
-		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
-		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-	}
-	srv := &http.Server{Addr: o.addr, Handler: mux}
+		obsWindow: o.batch, snapshotDir: o.snapshotDir, started: time.Now()}
+	srv := &http.Server{Addr: o.addr, Handler: d.handler(o.enablePprof)}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -284,6 +270,12 @@ type daemon struct {
 	snapshotDir string
 	started     time.Time
 
+	// obsWindow is the observe handler's submission pipeline depth: up to
+	// this many segments of one NDJSON stream are in flight at once, which
+	// is what feeds the pool's micro-batching a real backlog. ≤1 keeps the
+	// strictly synchronous submit-wait-respond loop.
+	obsWindow int
+
 	// lastSnapshot is the UnixNano of the last successful checkpoint (0 if
 	// none), reported by /healthz.
 	lastSnapshot atomic.Int64
@@ -296,6 +288,28 @@ type daemon struct {
 	// attachMu serialises channel creation so concurrent first-observes of
 	// one id clone the template exactly once.
 	attachMu sync.Mutex
+}
+
+// handler assembles the daemon's routes. Factored out of run so the
+// httptest suite drives exactly the production mux.
+func (d *daemon) handler(enablePprof bool) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", d.handleHealth)
+	mux.HandleFunc("/channels", d.handleList)
+	mux.HandleFunc("/channels/", d.handleChannel)
+	mux.HandleFunc("/snapshot", d.handleSnapshot)
+	if enablePprof {
+		// Profiling endpoints: the perf methodology in BENCH.md captures
+		// CPU, heap, allocation and execution-trace profiles against a live
+		// daemon. Opt-in because profiles leak process internals and a
+		// repeated /profile capture degrades detection latency.
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+	return mux
 }
 
 // observation is one NDJSON request line.
@@ -374,6 +388,15 @@ func (d *daemon) handleChannel(w http.ResponseWriter, r *http.Request) {
 // handleObserve streams decisions for an NDJSON observation stream. Each
 // line is scored in order through the channel's shard; under the drop
 // policy an overloaded queue yields a "dropped" line instead of a verdict.
+//
+// With micro-batching enabled the handler keeps up to obsWindow
+// submissions in flight (responses still stream strictly in request
+// order): the resulting per-channel backlog is what the shard workers
+// amortise into batched inference passes. obsWindow ≤ 1 degenerates to
+// submit-wait-respond per line. The pipeline is a fixed ring of recycled
+// outcome channels (serve.SubmitInto), so the per-line cost allocates
+// nothing — at tens of thousands of segments per second a per-submit
+// channel is measurable GC pressure.
 func (d *daemon) handleObserve(w http.ResponseWriter, r *http.Request, id string) {
 	if err := d.ensureChannel(id); err != nil {
 		http.Error(w, err.Error(), http.StatusServiceUnavailable)
@@ -393,38 +416,92 @@ func (d *daemon) handleObserve(w http.ResponseWriter, r *http.Request, id string
 	enc := json.NewEncoder(w)
 	sc := bufio.NewScanner(r.Body)
 	sc.Buffer(make([]byte, 0, 1<<20), 1<<20) // feature vectors can be wide
+
+	window := d.obsWindow
+	if window < 1 {
+		window = 1
+	}
+	// Ring state: slot s holds the response skeleton decs[s] and, when
+	// pending[s], an in-flight submission whose outcome arrives on
+	// outs[s]. Slots [head-inflight, head) are occupied, oldest first.
+	outs := make([]chan serve.Outcome, window)
+	for i := range outs {
+		outs[i] = make(chan serve.Outcome, 1)
+	}
+	decs := make([]decision, window)
+	pending := make([]bool, window)
+	head, inflight := 0, 0
+	defer func() {
+		// Never leave submissions unconsumed, whatever path exits: their
+		// outcome channels hold verdicts of segments already queued on the
+		// shard. emit clears pending as it receives, so this drains only
+		// what is genuinely still in flight.
+		for i := range pending {
+			if pending[i] {
+				<-outs[i]
+			}
+		}
+	}()
+	// emit resolves slot s (receiving its outcome if one is in flight) and
+	// streams its decision line; false means the client went away.
+	emit := func(s int) bool {
+		if pending[s] {
+			o := <-outs[s]
+			pending[s] = false
+			if o.Err != nil {
+				decs[s].Error = o.Err.Error()
+			} else {
+				decs[s].Warmup = o.Result.Warmup
+				decs[s].Anomaly = o.Result.Anomaly
+				decs[s].Score = o.Result.Score
+				decs[s].Exact = o.Result.Exact
+				decs[s].Path = o.Result.Path
+			}
+		}
+		if err := enc.Encode(decs[s]); err != nil {
+			return false
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		return true
+	}
+
 	seq := 0
 	for sc.Scan() {
 		line := strings.TrimSpace(sc.Text())
 		if line == "" {
 			continue
 		}
+		if inflight == window {
+			if !emit((head + window - inflight) % window) {
+				return // deferred drain releases the rest
+			}
+			inflight--
+		}
 		var obs observation
-		dec := decision{Channel: id, Seq: seq}
+		decs[head] = decision{Channel: id, Seq: seq}
 		if err := json.Unmarshal([]byte(line), &obs); err != nil {
-			dec.Error = fmt.Sprintf("bad observation line: %v", err)
+			decs[head].Error = fmt.Sprintf("bad observation line: %v", err)
 		} else {
-			res, err := d.pool.Observe(id, obs.Action, obs.Audience)
+			err := d.pool.SubmitInto(id, obs.Action, obs.Audience, outs[head])
 			switch {
 			case errors.Is(err, serve.ErrOverloaded):
-				dec.Dropped = true
+				decs[head].Dropped = true
 			case err != nil:
-				dec.Error = err.Error()
+				decs[head].Error = err.Error()
 			default:
-				dec.Warmup = res.Warmup
-				dec.Anomaly = res.Anomaly
-				dec.Score = res.Score
-				dec.Exact = res.Exact
-				dec.Path = res.Path
+				pending[head] = true
 			}
 		}
-		if err := enc.Encode(dec); err != nil {
-			return // client went away
-		}
-		if flusher != nil {
-			flusher.Flush()
-		}
+		head = (head + 1) % window
+		inflight++
 		seq++
+	}
+	for ; inflight > 0; inflight-- {
+		if !emit((head + window - inflight) % window) {
+			return
+		}
 	}
 	// A scanner failure (e.g. a line over the buffer cap) would otherwise
 	// look like a cleanly completed stream; surface it as a final line.

@@ -1,0 +1,457 @@
+package main
+
+// httptest coverage for the daemon's handlers (ISSUE 5 satellite): the
+// NDJSON observe stream (pipelined and synchronous), per-channel stats,
+// the channel-snapshot migration pair, on-demand pool snapshots and the
+// health endpoint — happy paths and error paths. The suite drives exactly
+// the production mux via daemon.handler.
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"aovlis"
+	"aovlis/internal/mat"
+	"aovlis/internal/serve"
+	"aovlis/internal/snapshot"
+)
+
+// testTemplate trains a small detector once for the whole suite.
+var testTemplate struct {
+	once sync.Once
+	det  *aovlis.Detector
+	err  error
+}
+
+const (
+	testActionDim   = 16
+	testAudienceDim = 6
+)
+
+// testSeries builds a deterministic normal feature stream.
+func testSeries(seed int64, n int) (actions, audience [][]float64) {
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < n; i++ {
+		f := make([]float64, testActionDim)
+		f[(i/4)%6] = 1
+		for j := range f {
+			f[j] += 0.02 + 0.01*rng.Float64()
+		}
+		mat.Normalize(f)
+		a := make([]float64, testAudienceDim)
+		for j := range a {
+			a[j] = 0.3 + 0.03*rng.NormFloat64()
+		}
+		actions = append(actions, f)
+		audience = append(audience, a)
+	}
+	return actions, audience
+}
+
+func template(t *testing.T) *aovlis.Detector {
+	t.Helper()
+	testTemplate.once.Do(func() {
+		cfg := aovlis.DefaultConfig(testActionDim, testAudienceDim)
+		cfg.HiddenI, cfg.HiddenA = 12, 8
+		cfg.SeqLen = 4
+		cfg.Epochs = 3
+		actions, audience := testSeries(7, 90)
+		testTemplate.det, testTemplate.err = aovlis.Train(actions, audience, cfg)
+	})
+	if testTemplate.err != nil {
+		t.Fatal(testTemplate.err)
+	}
+	return testTemplate.det
+}
+
+// newTestDaemon builds a daemon over a fresh pool and returns it with its
+// test server.
+func newTestDaemon(t *testing.T, maxChannels, batch int, snapshotDir string) (*daemon, *httptest.Server) {
+	t.Helper()
+	pool, err := serve.NewDetectorPool(serve.Config{Shards: 2, QueueDepth: 64, Policy: serve.Block, Batch: batch})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := &daemon{pool: pool, template: template(t), maxChannels: maxChannels,
+		obsWindow: batch, snapshotDir: snapshotDir, started: time.Now()}
+	srv := httptest.NewServer(d.handler(false))
+	t.Cleanup(func() {
+		srv.Close()
+		pool.Close()
+	})
+	return d, srv
+}
+
+// observeLine encodes one NDJSON observation.
+func observeLine(action, audience []float64) string {
+	b, _ := json.Marshal(observation{Action: action, Audience: audience})
+	return string(b)
+}
+
+// postObserve streams body to the observe endpoint and decodes the NDJSON
+// response lines.
+func postObserve(t *testing.T, srv *httptest.Server, id, body string) []decision {
+	t.Helper()
+	resp, err := http.Post(srv.URL+"/channels/"+id+"/observe", "application/x-ndjson", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		raw, _ := io.ReadAll(resp.Body)
+		t.Fatalf("observe status %d: %s", resp.StatusCode, raw)
+	}
+	var out []decision
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		if strings.TrimSpace(sc.Text()) == "" {
+			continue
+		}
+		var dec decision
+		if err := json.Unmarshal(sc.Bytes(), &dec); err != nil {
+			t.Fatalf("bad response line %q: %v", sc.Text(), err)
+		}
+		out = append(out, dec)
+	}
+	return out
+}
+
+func TestObserveStreamsDecisions(t *testing.T) {
+	for _, batch := range []int{0, 8} { // synchronous and pipelined handler
+		t.Run(fmt.Sprintf("batch=%d", batch), func(t *testing.T) {
+			_, srv := newTestDaemon(t, 8, batch, "")
+			actions, audience := testSeries(11, 12)
+			var body strings.Builder
+			for i := range actions {
+				body.WriteString(observeLine(actions[i], audience[i]) + "\n")
+			}
+			decs := postObserve(t, srv, "alice", body.String())
+			if len(decs) != 12 {
+				t.Fatalf("got %d decisions, want 12", len(decs))
+			}
+			for i, dec := range decs {
+				if dec.Seq != i || dec.Channel != "alice" || dec.Error != "" {
+					t.Fatalf("decision %d malformed: %+v", i, dec)
+				}
+				if wantWarm := i < 4; dec.Warmup != wantWarm {
+					t.Fatalf("decision %d warmup=%v, want %v", i, dec.Warmup, wantWarm)
+				}
+				if !dec.Warmup && dec.Score == 0 {
+					t.Fatalf("decision %d carries no score: %+v", i, dec)
+				}
+			}
+		})
+	}
+}
+
+func TestObserveErrorLines(t *testing.T) {
+	_, srv := newTestDaemon(t, 8, 8, "")
+	actions, audience := testSeries(13, 3)
+	body := observeLine(actions[0], audience[0]) + "\n" +
+		"this is not json\n" +
+		observeLine([]float64{1, 2}, audience[1]) + "\n" + // wrong dims
+		"\n" + // blank lines are skipped
+		observeLine(actions[2], audience[2]) + "\n"
+	decs := postObserve(t, srv, "bob", body)
+	if len(decs) != 4 {
+		t.Fatalf("got %d decisions, want 4", len(decs))
+	}
+	if decs[0].Error != "" {
+		t.Fatalf("line 0 unexpectedly failed: %+v", decs[0])
+	}
+	if !strings.Contains(decs[1].Error, "bad observation line") {
+		t.Fatalf("line 1 should be a parse error: %+v", decs[1])
+	}
+	if !strings.Contains(decs[2].Error, "feature dims") {
+		t.Fatalf("line 2 should be a dims error: %+v", decs[2])
+	}
+	if decs[3].Error != "" || decs[3].Seq != 3 {
+		t.Fatalf("line 3 should score cleanly with ordered seq: %+v", decs[3])
+	}
+}
+
+func TestObserveRespectsChannelLimit(t *testing.T) {
+	_, srv := newTestDaemon(t, 1, 0, "")
+	actions, audience := testSeries(17, 1)
+	postObserve(t, srv, "only", observeLine(actions[0], audience[0]))
+	resp, err := http.Post(srv.URL+"/channels/overflow/observe", "application/x-ndjson", strings.NewReader(""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status %d, want 503 (channel limit)", resp.StatusCode)
+	}
+}
+
+func TestObserveMethodNotAllowed(t *testing.T) {
+	_, srv := newTestDaemon(t, 8, 0, "")
+	resp, err := http.Get(srv.URL + "/channels/x/observe")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("status %d, want 405", resp.StatusCode)
+	}
+}
+
+func TestStatsAndList(t *testing.T) {
+	_, srv := newTestDaemon(t, 8, 8, "")
+	actions, audience := testSeries(19, 10)
+	var body strings.Builder
+	for i := range actions {
+		body.WriteString(observeLine(actions[i], audience[i]) + "\n")
+	}
+	postObserve(t, srv, "statsy", body.String())
+
+	resp, err := http.Get(srv.URL + "/channels/statsy/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st serve.ChannelStats
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if st.Channel != "statsy" || st.Observed != 10 || st.Warmups != 4 {
+		t.Fatalf("stats %+v, want 10 observed / 4 warmups", st)
+	}
+	if st.Batches == 0 || st.Batched != st.Observed {
+		t.Fatalf("batched pool reported no batching activity: %+v", st)
+	}
+
+	resp, err = http.Get(srv.URL + "/channels/missing/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown channel stats status %d, want 404", resp.StatusCode)
+	}
+
+	resp, err = http.Get(srv.URL + "/channels")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var all []serve.ChannelStats
+	if err := json.NewDecoder(resp.Body).Decode(&all); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(all) != 1 || all[0].Channel != "statsy" || all[0].BatchOccupancy < 1 {
+		t.Fatalf("channel list %+v, want statsy with occupancy ≥ 1", all)
+	}
+}
+
+func TestSnapshotEndpointWithoutDir(t *testing.T) {
+	_, srv := newTestDaemon(t, 8, 0, "")
+	resp, err := http.Post(srv.URL+"/snapshot", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusPreconditionFailed {
+		t.Fatalf("status %d, want 412 without -snapshot-dir", resp.StatusCode)
+	}
+	resp, err = http.Get(srv.URL + "/snapshot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /snapshot status %d, want 405", resp.StatusCode)
+	}
+}
+
+func TestSnapshotEndpointCommits(t *testing.T) {
+	dir := t.TempDir()
+	_, srv := newTestDaemon(t, 8, 8, dir)
+	actions, audience := testSeries(23, 8)
+	var body strings.Builder
+	for i := range actions {
+		body.WriteString(observeLine(actions[i], audience[i]) + "\n")
+	}
+	postObserve(t, srv, "persist", body.String())
+
+	resp, err := http.Post(srv.URL+"/snapshot", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep serve.Report
+	if err := json.NewDecoder(resp.Body).Decode(&rep); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if rep.Channels != 1 || rep.Bytes == 0 {
+		t.Fatalf("snapshot report %+v, want 1 committed channel", rep)
+	}
+	if _, err := os.Stat(filepath.Join(dir, snapshot.ManifestName)); err != nil {
+		t.Fatalf("manifest not committed: %v", err)
+	}
+
+	// healthz must now report the snapshot age.
+	resp, err = http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var health map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&health); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if health["status"] != "ok" {
+		t.Fatalf("healthz %+v", health)
+	}
+	if _, ok := health["last_snapshot_age_seconds"]; !ok {
+		t.Fatalf("healthz misses last_snapshot_age_seconds after a commit: %+v", health)
+	}
+	if health["snapshot_dir"] != dir {
+		t.Fatalf("healthz snapshot_dir %v, want %v", health["snapshot_dir"], dir)
+	}
+}
+
+func TestHealthzWithoutSnapshots(t *testing.T) {
+	_, srv := newTestDaemon(t, 8, 0, "")
+	resp, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var health map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&health); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if health["status"] != "ok" {
+		t.Fatalf("healthz %+v", health)
+	}
+	if _, ok := health["snapshot_dir"]; ok {
+		t.Fatalf("healthz reports a snapshot dir without one configured: %+v", health)
+	}
+}
+
+func TestChannelSnapshotMigration(t *testing.T) {
+	_, srv := newTestDaemon(t, 8, 8, "")
+	actions, audience := testSeries(29, 10)
+	var body strings.Builder
+	for i := range actions {
+		body.WriteString(observeLine(actions[i], audience[i]) + "\n")
+	}
+	postObserve(t, srv, "mover", body.String())
+
+	// Export: the stream must be a restorable detector snapshot.
+	resp, err := http.Get(srv.URL + "/channels/mover/snapshot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("export status %d err %v", resp.StatusCode, err)
+	}
+	if _, err := aovlis.RestoreDetector(bytes.NewReader(blob)); err != nil {
+		t.Fatalf("exported stream is not restorable: %v", err)
+	}
+
+	// Import under a new id: the restored channel resumes mid-window.
+	req, err := http.NewRequest(http.MethodPut, srv.URL+"/channels/moved/snapshot", bytes.NewReader(blob))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("import status %d, want 201", resp.StatusCode)
+	}
+	st, err := http.Get(srv.URL + "/channels/moved/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cs serve.ChannelStats
+	if err := json.NewDecoder(st.Body).Decode(&cs); err != nil {
+		t.Fatal(err)
+	}
+	st.Body.Close()
+	if cs.Observed != 10 {
+		t.Fatalf("migrated channel lost its lifetime counters: %+v", cs)
+	}
+
+	// Error paths: duplicate id conflicts, garbage rejects, unknown 404s,
+	// wrong methods 405.
+	req, _ = http.NewRequest(http.MethodPut, srv.URL+"/channels/moved/snapshot", bytes.NewReader(blob))
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("duplicate import status %d, want 409", resp.StatusCode)
+	}
+	req, _ = http.NewRequest(http.MethodPut, srv.URL+"/channels/junk/snapshot", strings.NewReader("garbage"))
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("garbage import status %d, want 400", resp.StatusCode)
+	}
+	resp, err = http.Get(srv.URL + "/channels/nobody/snapshot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown export status %d, want 404", resp.StatusCode)
+	}
+	req, _ = http.NewRequest(http.MethodDelete, srv.URL+"/channels/moved/snapshot", nil)
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("DELETE snapshot status %d, want 405", resp.StatusCode)
+	}
+}
+
+func TestChannelRoutes(t *testing.T) {
+	_, srv := newTestDaemon(t, 8, 0, "")
+	for path, want := range map[string]int{
+		"/channels/":             http.StatusNotFound,
+		"/channels/x":            http.StatusNotFound,
+		"/channels/x/unknownépé": http.StatusNotFound,
+	} {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != want {
+			t.Fatalf("GET %s status %d, want %d", path, resp.StatusCode, want)
+		}
+	}
+	resp, err := http.Post(srv.URL+"/channels", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("POST /channels status %d, want 405", resp.StatusCode)
+	}
+}

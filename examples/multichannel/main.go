@@ -76,8 +76,10 @@ func run(channels, shards, trainSec, streamSec, classes, epochs int, seed int64)
 	}
 	fmt.Printf("template ready: %d parameters, τ = %.4f\n", template.Model().NumParams(), template.Tau())
 
-	// 2. One pool, one cloned detector per channel.
-	pool, err := serve.NewDetectorPool(serve.Config{Shards: shards, QueueDepth: 256, Policy: serve.Block})
+	// 2. One pool, one cloned detector per channel. Batch lets each shard
+	// worker score a channel's queued run in one batched inference pass
+	// (bit-identical to serial scoring).
+	pool, err := serve.NewDetectorPool(serve.Config{Shards: shards, QueueDepth: 256, Policy: serve.Block, Batch: 16})
 	if err != nil {
 		return err
 	}

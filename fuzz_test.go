@@ -1,0 +1,106 @@
+package aovlis
+
+// Native fuzz target for the detector restore path (ISSUE 5 satellite):
+// RestoreDetector consumes snapshot streams that may come over the network
+// (PUT /channels/{id}/snapshot) or from damaged disks, so every corrupt
+// stream must fail with a clean error — no panics, no detector built from
+// torn state. Seeds cover a valid full-runtime snapshot and systematic
+// corruptions of it; the fuzzer mutates from there. The seed corpus is
+// checked in under testdata/fuzz/ (regenerate with -update-fuzz-corpus)
+// and CI runs a fixed-budget smoke.
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateFuzzCorpus = flag.Bool("update-fuzz-corpus", false, "regenerate the testdata/fuzz seed corpus files")
+
+// fuzzSnapshotBytes builds a small trained detector mid-stream and returns
+// its full-runtime snapshot.
+func fuzzSnapshotBytes(tb testing.TB) []byte {
+	tb.Helper()
+	cfg := testConfig()
+	cfg.Epochs = 1
+	rng := rand.New(rand.NewSource(97))
+	actions, audience := makeSeries(rng, 60, nil)
+	det, err := Train(actions, audience, cfg)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	// Advance past warm-up so the snapshot carries a full window.
+	for i := 0; i < 8; i++ {
+		if _, err := det.Observe(actions[i], audience[i]); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	var buf bytes.Buffer
+	if err := det.Snapshot(&buf); err != nil {
+		tb.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// restoreFuzzSeeds builds the seeds shared by f.Add and the checked-in
+// corpus: a valid stream and systematic corruptions of it.
+func restoreFuzzSeeds(tb testing.TB) [][]byte {
+	valid := fuzzSnapshotBytes(tb)
+	corrupt := append([]byte{}, valid...)
+	corrupt[len(corrupt)/3] ^= 0x40 // bit flip mid-stream
+	return [][]byte{
+		valid,
+		valid[:len(valid)/2], // truncated model payload
+		valid[:8],            // truncated envelope
+		corrupt,
+		{},
+		[]byte("AOVLIS-SNAP but not really"),
+	}
+}
+
+// TestMintRestoreFuzzCorpus writes the seed corpus in the native fuzz
+// encoding. Regenerate with
+//
+//	go test -run TestMintRestoreFuzzCorpus -update-fuzz-corpus .
+func TestMintRestoreFuzzCorpus(t *testing.T) {
+	if !*updateFuzzCorpus {
+		t.Skip("pass -update-fuzz-corpus to regenerate the seed corpus")
+	}
+	dir := filepath.Join("testdata", "fuzz", "FuzzRestoreDetector")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	for i, seed := range restoreFuzzSeeds(t) {
+		body := fmt.Sprintf("go test fuzz v1\n[]byte(%q)\n", seed)
+		if err := os.WriteFile(filepath.Join(dir, fmt.Sprintf("seed-%02d", i)), []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func FuzzRestoreDetector(f *testing.F) {
+	for _, seed := range restoreFuzzSeeds(f) {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 1<<20 {
+			return // bound adversarial allocations, not coverage
+		}
+		det, err := RestoreDetector(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// A restore that claims success must hand back a usable detector:
+		// one observation with matching dims either scores or fails with a
+		// clean error — it must not panic on torn internal state.
+		action := make([]float64, det.cfg.ActionDim)
+		audienceF := make([]float64, det.cfg.AudienceDim)
+		if _, err := det.Observe(action, audienceF); err != nil {
+			t.Logf("restored detector rejected observation: %v", err)
+		}
+	})
+}

@@ -4,7 +4,12 @@
 //
 //   - the recursive binary partition of the (0,1) value space into n
 //     variable-sized subspaces (Fig. 6a), with the hash mapping
-//     h(k) = floor(k·2^(n−1)) into a group-id lookup array (Fig. 6b);
+//     h(k) = floor(k·2^(n−1)) whose group id falls out of the hash
+//     index's bit length in O(1) (the groups are dyadic intervals, so
+//     floor(log₂ idx) IS bits.Len(idx)−1 — the paper's Fig. 6b lookup
+//     array materialises the same function, but at n = 20 that is a
+//     512 KiB random-access table per filter, which costs more in cache
+//     misses per segment than the two integer instructions it saves);
 //   - the per-group (min,max) pair representation of a feature vector;
 //   - REG_I, an upper bound on the JS divergence computed from group
 //     representations only (Theorem 1);
@@ -40,6 +45,7 @@ package adg
 import (
 	"fmt"
 	"math"
+	"math/bits"
 )
 
 // eps guards logarithms against zero probabilities.
@@ -52,31 +58,29 @@ const eps = 1e-12
 type Partition struct {
 	// N is the number of subspaces (20 in the paper, per Table II).
 	N int
-	// lookup maps the hash index h(v) = floor(v·2^(N−1)) to a group id.
-	lookup []uint8
+	// size is the hash range 2^(N−1).
+	size int
 }
 
-// NewPartition builds the partition and its group-id array.
+// NewPartition builds the partition.
 func NewPartition(n int) (*Partition, error) {
 	if n < 2 || n > 26 {
 		return nil, fmt.Errorf("adg: n must be in [2, 26], got %d", n)
 	}
-	size := 1 << (n - 1)
-	lookup := make([]uint8, size)
-	for i := 0; i < size; i++ {
-		lookup[i] = uint8(groupOfIndex(i, n))
-	}
-	return &Partition{N: n, lookup: lookup}, nil
+	return &Partition{N: n, size: 1 << (n - 1)}, nil
 }
 
 // groupOfIndex computes the group of hash index i analytically: the value
 // interval [i·2^{-(n-1)}, (i+1)·2^{-(n-1)}) lies in group n−2−floor(log2 i)
-// for i ≥ 1, and in the bottom group n−1 for i = 0.
+// for i ≥ 1, and in the bottom group n−1 for i = 0. floor(log2 i) of a
+// positive integer is exactly bits.Len(i)−1 — two instructions instead of
+// a float log or a cache-hostile table walk (TestGroupOfIndexMatchesLog2
+// pins the equivalence over every admissible index).
 func groupOfIndex(i, n int) int {
 	if i == 0 {
 		return n - 1
 	}
-	return n - 2 - int(math.Floor(math.Log2(float64(i))))
+	return n - 1 - bits.Len(uint(i))
 }
 
 // GroupOf returns the group id of a value in [0, 1] via the hash mapping.
@@ -87,11 +91,11 @@ func (p *Partition) GroupOf(v float64) int {
 	if v >= 1 {
 		return 0
 	}
-	idx := int(v * float64(len(p.lookup)))
-	if idx >= len(p.lookup) {
-		idx = len(p.lookup) - 1
+	idx := int(v * float64(p.size))
+	if idx >= p.size {
+		idx = p.size - 1
 	}
-	return int(p.lookup[idx])
+	return groupOfIndex(idx, p.N)
 }
 
 // Rep is the ADG representation of one feature vector: per group, the

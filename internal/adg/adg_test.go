@@ -44,8 +44,40 @@ func TestNewPartitionValidation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(p.lookup) != 1<<19 {
-		t.Fatalf("lookup size %d", len(p.lookup))
+	if p.size != 1<<19 {
+		t.Fatalf("hash range %d, want %d", p.size, 1<<19)
+	}
+}
+
+// TestGroupOfIndexMatchesLog2 pins the bit-length group computation to the
+// float-log formula it replaced, exhaustively for small n and around every
+// dyadic boundary (the only places the two could conceivably disagree) for
+// every admissible n.
+func TestGroupOfIndexMatchesLog2(t *testing.T) {
+	ref := func(i, n int) int {
+		if i == 0 {
+			return n - 1
+		}
+		return n - 2 - int(math.Floor(math.Log2(float64(i))))
+	}
+	for n := 2; n <= 12; n++ {
+		for i := 0; i < 1<<(n-1); i++ {
+			if got, want := groupOfIndex(i, n), ref(i, n); got != want {
+				t.Fatalf("n=%d i=%d: bits %d, log2 %d", n, i, got, want)
+			}
+		}
+	}
+	for n := 13; n <= 26; n++ {
+		for k := 0; k < n-1; k++ {
+			for _, i := range []int{1<<k - 1, 1 << k, 1<<k + 1} {
+				if i < 1 || i >= 1<<(n-1) {
+					continue
+				}
+				if got, want := groupOfIndex(i, n), ref(i, n); got != want {
+					t.Fatalf("n=%d i=%d: bits %d, log2 %d", n, i, got, want)
+				}
+			}
+		}
 	}
 }
 

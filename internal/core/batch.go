@@ -1,0 +1,193 @@
+package core
+
+// The micro-batched half of the tape-free inference engine. A
+// BatchInferPlan stacks B independent prediction lanes — each its own
+// q-step window, all scored by the same model — so every layer step runs
+// one GEMM over B context rows instead of B GEMVs (nn.FusedCell.StepBatch
+// / nn.FusedDense.ApplyBatch over mat.FwdGEMMBiasInto). The packed
+// weights are SHARED with the owning model's single-segment InferPlan:
+// the batch plan adds only lane-state matrices, so the single plan's
+// repack-on-version-move protocol covers both engines with one version
+// counter and one repack.
+//
+// Bit-exactness: lane b's recurrence reads exactly the values a
+// single-segment Run would read (per-lane zero init, simultaneous h/c
+// swap, same context concatenation order), and the batched kernels
+// compute every output as one ascending-k accumulator per (lane, output)
+// — so PredictBatchInto(B lanes) is bit-identical to B PredictInto calls
+// (pinned by TestPredictBatchBitIdentical across coupling modes, batch
+// sizes, online Adam steps and repacks).
+//
+// Like the tape and the InferPlan, a BatchInferPlan reuses its buffers
+// and is confined wherever its owning model is.
+
+import (
+	"fmt"
+
+	"aovlis/internal/mat"
+)
+
+// batchStream is one coupled stream's lane-stacked runtime state.
+type batchStream struct {
+	// h/c are the live recurrent states (row = lane); hNext/cNext receive
+	// the simultaneous update and are swapped in after every stream has
+	// read the previous step's state.
+	h, c, hNext, cNext *mat.Matrix
+	ctx                *mat.Matrix // lanes × CtxDim
+	pre                *mat.Matrix // lanes × 4·Hidden
+	dec                *mat.Matrix // lanes × dec.Out decoded predictions
+	decPre             *mat.Matrix // lanes × dec.Out decoder preactivations
+
+	// seqs[l] is lane l's input sequence for this stream; outs[l] the
+	// caller's output buffer. Filled per call, cleared after.
+	seqs [][][]float64
+	outs [][]float64
+}
+
+// BatchInferPlan is the lane-stacked runtime of an InferPlan.
+type BatchInferPlan struct {
+	plan     *InferPlan
+	capLanes int
+	streams  []batchStream
+}
+
+// newBatchInferPlan allocates lane state for up to capLanes lanes over the
+// compiled plan's packed layers. Construction is the only allocating
+// phase; Run reuses everything.
+func newBatchInferPlan(plan *InferPlan, capLanes int) *BatchInferPlan {
+	bp := &BatchInferPlan{plan: plan, capLanes: capLanes, streams: make([]batchStream, len(plan.streams))}
+	for i := range plan.streams {
+		st := &plan.streams[i]
+		bs := &bp.streams[i]
+		hn := st.cell.Hidden
+		bs.h = mat.New(capLanes, hn)
+		bs.c = mat.New(capLanes, hn)
+		bs.hNext = mat.New(capLanes, hn)
+		bs.cNext = mat.New(capLanes, hn)
+		bs.ctx = mat.New(capLanes, st.cell.CtxDim)
+		bs.pre = mat.New(capLanes, 4*hn)
+		bs.dec = mat.New(capLanes, st.dec.Out)
+		bs.decPre = mat.New(capLanes, st.dec.Out)
+		bs.seqs = make([][][]float64, capLanes)
+		bs.outs = make([][]float64, capLanes)
+	}
+	return bp
+}
+
+// setLanes re-views every lane matrix to the first lanes rows. The views
+// share the full-capacity backing arrays, so no allocation happens.
+func (bs *batchStream) setLanes(lanes int) {
+	for _, m := range []*mat.Matrix{bs.h, bs.c, bs.hNext, bs.cNext, bs.ctx, bs.pre, bs.dec, bs.decPre} {
+		m.Rows = lanes
+		m.Data = m.Data[:lanes*m.Cols]
+	}
+}
+
+// Run executes the lane-stacked fused recurrence over the first `lanes`
+// entries of each stream's seqs/outs. It allocates nothing.
+func (bp *BatchInferPlan) Run(lanes int) {
+	p := bp.plan
+	for i := range bp.streams {
+		bs := &bp.streams[i]
+		bs.setLanes(lanes)
+		bs.h.Zero()
+		bs.c.Zero()
+	}
+	for t := 0; t < p.seqLen; t++ {
+		for i := range bp.streams {
+			st := &p.streams[i]
+			bs := &bp.streams[i]
+			// Per lane, the same [h..., input] concatenation the
+			// single-segment plan builds, reading every stream's PREVIOUS
+			// hidden state so all streams update simultaneously.
+			for l := 0; l < lanes; l++ {
+				row := bs.ctx.Row(l)
+				off := 0
+				for _, src := range st.ctx {
+					part := bp.streams[src.index].seqs[l][t]
+					if src.hidden {
+						part = bp.streams[src.index].h.Row(l)
+					}
+					copy(row[off:off+len(part)], part)
+					off += len(part)
+				}
+			}
+			st.cell.StepBatch(bs.hNext, bs.cNext, bs.pre, bs.ctx, bs.c)
+		}
+		for i := range bp.streams {
+			bs := &bp.streams[i]
+			bs.h, bs.hNext = bs.hNext, bs.h
+			bs.c, bs.cNext = bs.cNext, bs.c
+		}
+	}
+	for i := range bp.streams {
+		st := &p.streams[i]
+		bs := &bp.streams[i]
+		st.dec.ApplyBatch(bs.dec, bs.decPre, bs.h)
+		for l := 0; l < lanes; l++ {
+			copy(bs.outs[l], bs.dec.Row(l))
+		}
+	}
+}
+
+// clearRefs drops the caller's sequence and output slices so the reused
+// lane buffers don't pin them beyond the call.
+func (bp *BatchInferPlan) clearRefs(lanes int) {
+	for i := range bp.streams {
+		bs := &bp.streams[i]
+		for l := 0; l < lanes; l++ {
+			bs.seqs[l] = nil
+			bs.outs[l] = nil
+		}
+	}
+}
+
+// batchPlan returns the model's lane-stacked engine with capacity for at
+// least `lanes` lanes, repacking the shared weights first when stale. The
+// batch plan grows by reallocation (rare: lane capacity follows the serve
+// layer's drain cap); at stable batch sizes calls are allocation-free.
+func (m *Model) batchPlan(lanes int) *BatchInferPlan {
+	p := m.inferPlan() // one version compare + repack covers both engines
+	if m.bplan == nil || m.bplan.capLanes < lanes {
+		grow := lanes
+		if m.bplan != nil && 2*m.bplan.capLanes > grow {
+			grow = 2 * m.bplan.capLanes
+		}
+		m.bplan = newBatchInferPlan(p, grow)
+	}
+	return m.bplan
+}
+
+// PredictBatchInto predicts the next-segment features for B = len(samples)
+// independent windows in one lane-stacked pass: fhats[b]/ahats[b] receive
+// sample b's predictions, exactly the float bits PredictInto would produce
+// for each sample alone. Targets in the samples are ignored. At a stable
+// batch size the call performs no heap allocations.
+func (m *Model) PredictBatchInto(samples []Sample, fhats, ahats [][]float64) error {
+	if len(fhats) != len(samples) || len(ahats) != len(samples) {
+		return fmt.Errorf("core: PredictBatchInto got %d samples, %d/%d output buffers",
+			len(samples), len(fhats), len(ahats))
+	}
+	for i := range samples {
+		if err := samples[i].validate(m.cfg); err != nil {
+			return err
+		}
+		if len(fhats[i]) != m.cfg.ActionDim || len(ahats[i]) != m.cfg.AudienceDim {
+			return fmt.Errorf("core: PredictBatchInto lane %d buffers %d/%d, model expects %d/%d",
+				i, len(fhats[i]), len(ahats[i]), m.cfg.ActionDim, m.cfg.AudienceDim)
+		}
+	}
+	if len(samples) == 0 {
+		return nil
+	}
+	bp := m.batchPlan(len(samples))
+	for l := range samples {
+		bp.streams[0].seqs[l] = samples[l].ActionSeq
+		bp.streams[1].seqs[l] = samples[l].AudienceSeq
+		bp.streams[0].outs[l] = fhats[l]
+		bp.streams[1].outs[l] = ahats[l]
+	}
+	bp.Run(len(samples))
+	bp.clearRefs(len(samples))
+	return nil
+}

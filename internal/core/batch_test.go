@@ -1,0 +1,170 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// Property suite for the lane-stacked batch engine (ISSUE 5 satellite):
+// for random models across every coupling mode and batch sizes 1..B,
+// PredictBatchInto must be bit-identical to B independent PredictInto
+// calls — on the fresh model, after online Adam steps have moved the
+// version counter (forcing a shared repack), and after an explicit
+// parameter copy.
+
+// randomBatchConfig draws a small random architecture.
+func randomBatchConfig(rng *rand.Rand, coupling Coupling) Config {
+	cfg := DefaultConfig(3+rng.Intn(10), 2+rng.Intn(9))
+	cfg.HiddenI = 2 + rng.Intn(11)
+	cfg.HiddenA = 2 + rng.Intn(7)
+	cfg.SeqLen = 2 + rng.Intn(4)
+	cfg.Coupling = coupling
+	cfg.Seed = rng.Int63()
+	return cfg
+}
+
+// compareBatch checks PredictBatchInto(samples) against per-sample
+// PredictInto, elementwise on float bits.
+func compareBatch(t *testing.T, m *Model, samples []Sample, phase string) {
+	t.Helper()
+	B := len(samples)
+	fhats := make([][]float64, B)
+	ahats := make([][]float64, B)
+	for i := range samples {
+		fhats[i] = make([]float64, m.cfg.ActionDim)
+		ahats[i] = make([]float64, m.cfg.AudienceDim)
+	}
+	if err := m.PredictBatchInto(samples, fhats, ahats); err != nil {
+		t.Fatalf("%s: batch predict: %v", phase, err)
+	}
+	fhat := make([]float64, m.cfg.ActionDim)
+	ahat := make([]float64, m.cfg.AudienceDim)
+	for i := range samples {
+		if err := m.PredictInto(&samples[i], fhat, ahat); err != nil {
+			t.Fatalf("%s: single predict sample %d: %v", phase, i, err)
+		}
+		for j := range fhat {
+			if math.Float64bits(fhat[j]) != math.Float64bits(fhats[i][j]) {
+				t.Fatalf("%s: B=%d sample %d fhat[%d]: single %x, batch %x",
+					phase, B, i, j, math.Float64bits(fhat[j]), math.Float64bits(fhats[i][j]))
+			}
+		}
+		for j := range ahat {
+			if math.Float64bits(ahat[j]) != math.Float64bits(ahats[i][j]) {
+				t.Fatalf("%s: B=%d sample %d ahat[%d]: single %x, batch %x",
+					phase, B, i, j, math.Float64bits(ahat[j]), math.Float64bits(ahats[i][j]))
+			}
+		}
+	}
+}
+
+// TestPredictBatchBitIdentical is the batch-engine property test.
+func TestPredictBatchBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(67))
+	const maxB = 9
+	for _, coupling := range []Coupling{CouplingFull, CouplingOneWay, CouplingNone} {
+		for trial := 0; trial < 3; trial++ {
+			cfg := randomBatchConfig(rng, coupling)
+			m, err := NewModel(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			actions, audience := goldenSeries(cfg.SeqLen+maxB+12, cfg.ActionDim, cfg.AudienceDim, rng.Int63())
+			samples, err := BuildSamples(actions, audience, cfg.SeqLen)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for B := 1; B <= maxB; B++ {
+				compareBatch(t, m, samples[:B], "fresh")
+			}
+			// Online Adam steps move the version counter; the shared repack
+			// must refresh the batch engine's weights too.
+			for s := 0; s < 4; s++ {
+				if _, err := m.TrainStep(&samples[s]); err != nil {
+					t.Fatal(err)
+				}
+				compareBatch(t, m, samples[s:s+maxB], "after-train-step")
+			}
+			// Copy-replace (the updater's merge commit path) is a distinct
+			// version bump; cover it explicitly.
+			m2, err := NewModel(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := m.Params().CopyFrom(m2.Params()); err != nil {
+				t.Fatal(err)
+			}
+			compareBatch(t, m, samples[:maxB], "after-copy")
+		}
+	}
+}
+
+// TestPredictBatchGrowsAndShrinks pins that one model serves varying batch
+// sizes (growth reallocates, shrink re-views) without cross-lane bleed.
+func TestPredictBatchGrowsAndShrinks(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	cfg := randomBatchConfig(rng, CouplingFull)
+	m, err := NewModel(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	actions, audience := goldenSeries(cfg.SeqLen+20, cfg.ActionDim, cfg.AudienceDim, 5)
+	samples, err := BuildSamples(actions, audience, cfg.SeqLen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, B := range []int{2, 7, 1, 5, 16, 3} {
+		compareBatch(t, m, samples[:B], "varying")
+	}
+}
+
+// TestPredictBatchSteadyStateAllocs pins the batched predict path
+// allocation-free at a stable batch size, including across online updates
+// and the repacks they force.
+func TestPredictBatchSteadyStateAllocs(t *testing.T) {
+	cfg := DefaultConfig(12, 8)
+	cfg.SeqLen = 4
+	m, err := NewModel(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	actions, audience := goldenSeries(cfg.SeqLen+12, cfg.ActionDim, cfg.AudienceDim, 9)
+	samples, err := BuildSamples(actions, audience, cfg.SeqLen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const B = 8
+	fhats := make([][]float64, B)
+	ahats := make([][]float64, B)
+	for i := 0; i < B; i++ {
+		fhats[i] = make([]float64, cfg.ActionDim)
+		ahats[i] = make([]float64, cfg.AudienceDim)
+	}
+	// Warm: allocate the lane state once.
+	if err := m.PredictBatchInto(samples[:B], fhats, ahats); err != nil {
+		t.Fatal(err)
+	}
+	if n := testing.AllocsPerRun(50, func() {
+		if err := m.PredictBatchInto(samples[:B], fhats, ahats); err != nil {
+			t.Fatal(err)
+		}
+	}); n != 0 {
+		t.Fatalf("steady-state PredictBatchInto allocates %v objects/op, want 0", n)
+	}
+	// Train-repack-predict cycles must stay allocation-free too (the batch
+	// plan shares the single plan's repack).
+	if _, err := m.TrainStep(&samples[0]); err != nil {
+		t.Fatal(err)
+	}
+	if n := testing.AllocsPerRun(20, func() {
+		if _, err := m.TrainStep(&samples[1]); err != nil {
+			t.Fatal(err)
+		}
+		if err := m.PredictBatchInto(samples[:B], fhats, ahats); err != nil {
+			t.Fatal(err)
+		}
+	}); n != 0 {
+		t.Fatalf("train+repack+batch-predict cycle allocates %v objects/op, want 0", n)
+	}
+}

@@ -41,8 +41,10 @@ type Model struct {
 
 	// plan is the compiled tape-free inference engine; see inferPlan.
 	// inferSeqs/inferOuts are reused argument buffers for plan.Run so
-	// PredictInto stays allocation-free.
+	// PredictInto stays allocation-free. bplan is the lane-stacked batch
+	// engine (see batch.go), sharing plan's packed weights and version.
 	plan      *InferPlan
+	bplan     *BatchInferPlan
 	inferSeqs [2][][]float64
 	inferOuts [2][]float64
 }

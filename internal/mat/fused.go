@@ -94,39 +94,66 @@ func VecMatTBiasTo(dst, x []float64, wt *Matrix, b []float64) {
 	if len(b) != len(dst) {
 		panic(fmt.Sprintf("mat: VecMatTBiasTo bias length %d, want %d", len(b), len(dst)))
 	}
-	for j, bv := range b {
-		dst[j] += bv
-	}
+	addBiasRows(dst, 1, b)
 }
 
 // sigmoidScalar matches the tape's Sigmoid elementwise function exactly.
 func sigmoidScalar(x float64) float64 { return 1 / (1 + math.Exp(-x)) }
 
+// VecRecip1pInto computes v[i] = 1/(1+v[i]) in place — the closing half of
+// a sigmoid whose exponentials are already in v. Addition and IEEE
+// division are correctly rounded elementwise, so the vectorised form (see
+// gemm_amd64.s) is bit-identical to the scalar loop.
+func VecRecip1pInto(v []float64) {
+	if simdRecip1pInto(v) {
+		return
+	}
+	for i, e := range v {
+		v[i] = 1 / (1 + e)
+	}
+}
+
 // LSTMGatesInto applies the fused LSTM gate nonlinearities to one step's
 // packed preactivations. pre has length 4H in gate order i, f, c, o
-// (pre = ctx·W_packed + b_packed); cPrev is the previous cell state. It
-// writes the new cell state into cNext and the hidden state into h:
+// (pre = ctx·W_packed + b_packed) and is CONSUMED as scratch; cPrev is the
+// previous cell state. It writes the new cell state into cNext and the
+// hidden state into h:
 //
 //	i = σ(pre_i)  f = σ(pre_f)  c̃ = tanh(pre_c)  o = σ(pre_o)
 //	cNext = i⊙c̃ + f⊙cPrev      h = o⊙tanh(cNext)
 //
-// The explicit float64 conversions force the two products to round before
-// the add, exactly as the tape rounds them when storing the Mul nodes, so
-// no FMA contraction can perturb the result.
+// The kernel is phased: the sigmoid gates' exponentials first (scalar
+// math.Exp, the bit-defined transcendental), then σ = 1/(1+e) as one
+// vectorised pass (VecRecip1pInto — the add and the IEEE correctly-rounded
+// divide are elementwise, so vectorisation cannot change a bit), then the
+// cell update. Phasing reorders only *which unit* is processed when; every
+// individual operation sees the same inputs as the fully scalar form, so
+// the result is bit-identical to it — and to the tape (the explicit
+// float64 conversions force the two products to round before the add,
+// exactly as the tape rounds them when storing the Mul nodes, so no FMA
+// contraction can perturb the result).
 func LSTMGatesInto(h, cNext, pre, cPrev []float64) {
 	n := len(h)
 	if len(cNext) != n || len(cPrev) != n || len(pre) != 4*n {
 		panic(fmt.Sprintf("mat: LSTMGatesInto lengths h=%d cNext=%d cPrev=%d pre=%d", n, len(cNext), len(cPrev), len(pre)))
 	}
 	ig, fg, cd, og := pre[0:n], pre[n:2*n], pre[2*n:3*n], pre[3*n:4*n]
+	for j, v := range ig {
+		ig[j] = math.Exp(-v)
+	}
+	for j, v := range fg {
+		fg[j] = math.Exp(-v)
+	}
+	for j, v := range og {
+		og[j] = math.Exp(-v)
+	}
+	VecRecip1pInto(pre[0 : 2*n]) // i and f gates are adjacent
+	VecRecip1pInto(og)
 	for j := 0; j < n; j++ {
-		i := sigmoidScalar(ig[j])
-		f := sigmoidScalar(fg[j])
 		c := math.Tanh(cd[j])
-		o := sigmoidScalar(og[j])
-		cn := float64(i*c) + float64(f*cPrev[j])
+		cn := float64(ig[j]*c) + float64(fg[j]*cPrev[j])
 		cNext[j] = cn
-		h[j] = o * math.Tanh(cn)
+		h[j] = og[j] * math.Tanh(cn)
 	}
 }
 

@@ -97,12 +97,15 @@ func TestLSTMGatesIntoMatchesUnfused(t *testing.T) {
 		}
 		gotH := make([]float64, h)
 		gotC := make([]float64, h)
+		// The kernel consumes pre as scratch; keep a pristine copy for the
+		// reference computation.
+		preRef := append([]float64(nil), pre...)
 		LSTMGatesInto(gotH, gotC, pre, cPrev)
 		for j := 0; j < h; j++ {
-			ig := sigmoid(pre[j])
-			fg := sigmoid(pre[h+j])
-			cd := math.Tanh(pre[2*h+j])
-			og := sigmoid(pre[3*h+j])
+			ig := sigmoid(preRef[j])
+			fg := sigmoid(preRef[h+j])
+			cd := math.Tanh(preRef[2*h+j])
+			og := sigmoid(preRef[3*h+j])
 			t1 := ig * cd // the tape stores each product before adding
 			t2 := fg * cPrev[j]
 			cn := t1 + t2

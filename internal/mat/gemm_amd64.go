@@ -1,0 +1,148 @@
+//go:build amd64
+
+package mat
+
+import "os"
+
+// SIMD dispatch for the forward inference GEMM (see gemm_amd64.s). The
+// kernels vectorise across output columns — each vector lane holds one
+// output's own ascending-k accumulator — with separate multiply and add
+// instructions (FMA contraction would change rounding), so SIMD results
+// are bit-identical to the scalar kernels on every input.
+
+//go:noescape
+func gemmRowMajorAVX512(dst, x, w *float64, lanes, n, m int)
+
+//go:noescape
+func gemmRowMajorAVX2(dst, x, w *float64, lanes, n, m int)
+
+//go:noescape
+func vecRecip1pAVX512(v *float64, n int)
+
+//go:noescape
+func vecRecip1pAVX2(v *float64, n int)
+
+func cpuidex(leaf, sub uint32) (eax, ebx, ecx, edx uint32)
+
+func xgetbv0() (eax, edx uint32)
+
+// simdGEMMLevel is 0 (scalar only), 2 (AVX2) or 3 (AVX-512F), detected
+// once at startup. AOVLIS_NOSIMD=1 forces the portable scalar path — the
+// escape hatch for benchmarking the fallback and for debugging suspected
+// kernel issues without rebuilding.
+var simdGEMMLevel = detectGEMMLevel()
+
+func detectGEMMLevel() int {
+	if os.Getenv("AOVLIS_NOSIMD") != "" {
+		return 0
+	}
+	maxLeaf, _, _, _ := cpuidex(0, 0)
+	if maxLeaf < 7 {
+		return 0
+	}
+	_, _, c1, _ := cpuidex(1, 0)
+	const osxsave, avx = 1 << 27, 1 << 28
+	if c1&osxsave == 0 || c1&avx == 0 {
+		return 0
+	}
+	// The OS must context-switch the wide register state: XCR0 bits 1-2
+	// (XMM/YMM) for AVX, plus bits 5-7 (opmask, ZMM) for AVX-512.
+	xcr0, _ := xgetbv0()
+	if xcr0&0x6 != 0x6 {
+		return 0
+	}
+	_, b7, _, _ := cpuidex(7, 0)
+	const avx2, avx512f = 1 << 5, 1 << 16
+	if b7&avx512f != 0 && xcr0&0xe6 == 0xe6 {
+		return 3
+	}
+	if b7&avx2 != 0 {
+		return 2
+	}
+	return 0
+}
+
+// SIMDGEMM names the active forward-GEMM kernel ("avx512", "avx2" or
+// "scalar") so benchmarks and the daemon's diagnostics can record which
+// path produced their numbers.
+func SIMDGEMM() string {
+	switch simdGEMMLevel {
+	case 3:
+		return "avx512"
+	case 2:
+		return "avx2"
+	default:
+		return "scalar"
+	}
+}
+
+// simdRecip1pInto runs the vectorised in-place 1/(1+v) over as much of v
+// as the active vector width covers, finishing the tail scalar. It
+// reports false when no SIMD level is active.
+func simdRecip1pInto(v []float64) bool {
+	if simdGEMMLevel == 0 || len(v) == 0 {
+		return false
+	}
+	var nv int
+	if simdGEMMLevel == 3 {
+		nv = len(v) &^ 7
+		if nv > 0 {
+			vecRecip1pAVX512(&v[0], nv)
+		}
+	} else {
+		nv = len(v) &^ 3
+		if nv > 0 {
+			vecRecip1pAVX2(&v[0], nv)
+		}
+	}
+	for i := nv; i < len(v); i++ {
+		v[i] = 1 / (1 + v[i])
+	}
+	return true
+}
+
+// simdGEMMInto runs the vectorised kernel over the row-major weight w
+// (n×m) when one is active, finishing the sub-block column tail with the
+// scalar loop. It reports false when the caller must use the portable
+// transposed kernel instead.
+func simdGEMMInto(dst, x []float64, lanes int, w *Matrix) bool {
+	if simdGEMMLevel == 0 {
+		return false
+	}
+	n, m := w.Rows, w.Cols
+	var mAsm int
+	if simdGEMMLevel == 3 {
+		mAsm = m &^ 7
+	} else {
+		mAsm = m &^ 3
+	}
+	if mAsm == 0 {
+		return false
+	}
+	if lanes == 0 {
+		return true
+	}
+	if n == 0 {
+		for i := range dst[:lanes*m] {
+			dst[i] = 0
+		}
+		return true
+	}
+	if simdGEMMLevel == 3 {
+		gemmRowMajorAVX512(&dst[0], &x[0], &w.Data[0], lanes, n, m)
+	} else {
+		gemmRowMajorAVX2(&dst[0], &x[0], &w.Data[0], lanes, n, m)
+	}
+	for l := 0; l < lanes; l++ {
+		xr := x[l*n : l*n+n]
+		dr := dst[l*m : l*m+m]
+		for j := mAsm; j < m; j++ {
+			var s float64
+			for k, xv := range xr {
+				s += float64(xv * w.Data[k*m+j])
+			}
+			dr[j] = s
+		}
+	}
+	return true
+}

@@ -4,18 +4,30 @@ package nn
 // through four separate ctxDim×H gate weight matrices on the autodiff tape;
 // for prediction those four matmuls collapse into a single GEMV against one
 // packed gate matrix (gate order i, f, c, o) followed by the fused
-// elementwise gate kernel. The packed matrix is stored TRANSPOSED
-// (4H×ctxDim): packed row g·H+j is gate g's column j, so each output
-// activation is one contiguous register-accumulated dot product over the
-// context, in exactly the summation order the tape's per-gate MatMul uses —
-// which keeps fused inference bit-identical to the tape forward pass (see
-// mat.VecMatTTo and the golden equivalence tests in internal/core) while
-// eliminating both the per-gate dispatch and the per-term dst load/store of
-// the row-major kernel.
+// elementwise gate kernel. Each packed layer carries the gate weights in
+// TWO layouts filled by the same PackInto:
+//
+//   - WT, transposed (4H×ctxDim): packed row g·H+j is gate g's column j,
+//     so each output activation is one contiguous register-accumulated dot
+//     product — the layout the portable scalar kernel (mat.VecMatTTo /
+//     mat.MatMatTTo) wants.
+//   - W, row-major (ctxDim×4H): row k holds every gate output's weight at
+//     context element k, so the SIMD kernels (mat.FwdGEMMBiasInto) can
+//     load 4-8 output columns per vector instruction.
+//
+// Both kernels accumulate every output over k in ascending order with no
+// FMA contraction, so layout and kernel choice never change a float bit
+// relative to the tape forward pass (see mat/batch.go and the golden
+// equivalence tests in internal/core).
 //
 // Packed layers are immutable snapshots of a ParamSet: training keeps
 // updating the unpacked per-gate matrices, and the owner (core.InferPlan)
 // repacks — via the allocation-free PackInto — when ParamSet.Version moves.
+//
+// StepBatch/ApplyBatch are the micro-batching forms: B stacked context
+// rows go through one GEMM per layer step instead of B GEMVs, which is
+// what lets a shard worker score B pending segments at a per-segment cost
+// well below the single-segment path (ARCHITECTURE.md §10).
 
 import (
 	"fmt"
@@ -29,6 +41,10 @@ type FusedCell struct {
 	// WT is the 4·Hidden × CtxDim transposed packed gate weight matrix
 	// (gate order i,f,c,o): row g·Hidden+j holds gate g's weight column j.
 	WT *mat.Matrix
+	// W is the same packed weight in row-major CtxDim × 4·Hidden layout
+	// (row k = all gate outputs at context element k), the layout the SIMD
+	// forward kernels consume.
+	W *mat.Matrix
 	// B is the packed 4·Hidden gate bias (same order).
 	B []float64
 }
@@ -39,6 +55,7 @@ func (c *LSTMCell) Pack(ps *ParamSet) *FusedCell {
 		CtxDim: c.CtxDim,
 		Hidden: c.Hidden,
 		WT:     mat.New(4*c.Hidden, c.CtxDim),
+		W:      mat.New(c.CtxDim, 4*c.Hidden),
 		B:      make([]float64, 4*c.Hidden),
 	}
 	c.PackInto(ps, fc)
@@ -53,15 +70,19 @@ func (c *LSTMCell) PackInto(ps *ParamSet, dst *FusedCell) {
 		panic(fmt.Sprintf("nn: PackInto cell %s shape %dx%d, dst %dx%d",
 			c.Name, c.CtxDim, c.Hidden, dst.CtxDim, dst.Hidden))
 	}
+	h := c.Hidden
 	for gi := range gateOrder {
 		w := ps.Get(c.wNames[gi]) // CtxDim × Hidden
-		for j := 0; j < c.Hidden; j++ {
-			row := dst.WT.Row(gi*c.Hidden + j)
+		for j := 0; j < h; j++ {
+			row := dst.WT.Row(gi*h + j)
 			for k := 0; k < c.CtxDim; k++ {
-				row[k] = w.Data[k*c.Hidden+j]
+				row[k] = w.Data[k*h+j]
 			}
 		}
-		copy(dst.B[gi*c.Hidden:(gi+1)*c.Hidden], ps.Get(c.bNames[gi]).Data)
+		for k := 0; k < c.CtxDim; k++ {
+			copy(dst.W.Row(k)[gi*h:(gi+1)*h], w.Data[k*h:(k+1)*h])
+		}
+		copy(dst.B[gi*h:(gi+1)*h], ps.Get(c.bNames[gi]).Data)
 	}
 }
 
@@ -73,8 +94,28 @@ func (fc *FusedCell) StepInto(h, cNext, pre, ctx, cPrev []float64) {
 	if len(ctx) != fc.CtxDim {
 		panic(fmt.Sprintf("nn: fused step ctx has %d elements, want %d", len(ctx), fc.CtxDim))
 	}
-	mat.VecMatTBiasTo(pre, ctx, fc.WT, fc.B)
+	mat.FwdGEMMBiasInto(pre, ctx, 1, fc.W, fc.WT, fc.B)
 	mat.LSTMGatesInto(h, cNext, pre, cPrev)
+}
+
+// StepBatch performs one fused LSTM step over B stacked lanes: row b of
+// ctx is lane b's gate context and row b of cPrev its previous cell state;
+// the new hidden states land in h's rows and the new cell states in
+// cNext's. pre (B × 4·Hidden) is scratch. Lane rows are computed with
+// exactly the arithmetic of B StepInto calls (one ascending-k accumulator
+// per output, bias after the full GEMM, scalar gate kernel per lane), so a
+// batch of B is bit-identical to B single steps.
+func (fc *FusedCell) StepBatch(h, cNext, pre, ctx, cPrev *mat.Matrix) {
+	lanes := ctx.Rows
+	if ctx.Cols != fc.CtxDim {
+		panic(fmt.Sprintf("nn: fused batch step ctx is %dx%d, want ctx dim %d", ctx.Rows, ctx.Cols, fc.CtxDim))
+	}
+	if h.Rows != lanes || cNext.Rows != lanes || pre.Rows != lanes || cPrev.Rows != lanes {
+		panic(fmt.Sprintf("nn: fused batch step lanes h=%d cNext=%d pre=%d cPrev=%d, want %d",
+			h.Rows, cNext.Rows, pre.Rows, cPrev.Rows, lanes))
+	}
+	mat.FwdGEMMBiasInto(pre.Data, ctx.Data, lanes, fc.W, fc.WT, fc.B)
+	mat.LSTMGatesBatchInto(h, cNext, pre, cPrev)
 }
 
 // FusedDense is the inference-only snapshot of a Dense layer.
@@ -82,6 +123,7 @@ type FusedDense struct {
 	In, Out int
 	Act     Activation
 	WT      *mat.Matrix // Out × In (transposed weights)
+	W       *mat.Matrix // In × Out (row-major weights, SIMD layout)
 	B       []float64   // Out
 }
 
@@ -90,6 +132,7 @@ func (d *Dense) Pack(ps *ParamSet) *FusedDense {
 	fd := &FusedDense{
 		In: d.In, Out: d.Out, Act: d.Act,
 		WT: mat.New(d.Out, d.In),
+		W:  mat.New(d.In, d.Out),
 		B:  make([]float64, d.Out),
 	}
 	d.PackInto(ps, fd)
@@ -102,7 +145,9 @@ func (d *Dense) PackInto(ps *ParamSet, dst *FusedDense) {
 	if dst.In != d.In || dst.Out != d.Out {
 		panic(fmt.Sprintf("nn: PackInto dense %s shape %dx%d, dst %dx%d", d.Name, d.In, d.Out, dst.In, dst.Out))
 	}
-	mat.TransposeTo(dst.WT, ps.Get(d.wName))
+	w := ps.Get(d.wName) // In × Out, already the row-major SIMD layout
+	mat.TransposeTo(dst.WT, w)
+	copy(dst.W.Data, w.Data)
 	copy(dst.B, ps.Get(d.bName).Data)
 	dst.Act = d.Act
 }
@@ -110,7 +155,29 @@ func (d *Dense) PackInto(ps *ParamSet, dst *FusedDense) {
 // ApplyInto computes dst = act(x·W + B) using pre (scratch, length Out) for
 // the preactivation — the fused, allocation-free form of Dense.Apply.
 func (fd *FusedDense) ApplyInto(dst, pre, x []float64) {
-	mat.VecMatTBiasTo(pre, x, fd.WT, fd.B)
+	mat.FwdGEMMBiasInto(pre, x, 1, fd.W, fd.WT, fd.B)
+	fd.activateRow(dst, pre)
+}
+
+// ApplyBatch computes act(x·W + B) for B stacked input rows, writing lane
+// b's activation into dst's row b; pre (B × Out) is scratch. Row-wise it
+// performs exactly the operations of B ApplyInto calls.
+func (fd *FusedDense) ApplyBatch(dst, pre, x *mat.Matrix) {
+	lanes := x.Rows
+	if x.Cols != fd.In {
+		panic(fmt.Sprintf("nn: fused batch apply x is %dx%d, want in dim %d", x.Rows, x.Cols, fd.In))
+	}
+	if dst.Rows != lanes || pre.Rows != lanes {
+		panic(fmt.Sprintf("nn: fused batch apply lanes dst=%d pre=%d, want %d", dst.Rows, pre.Rows, lanes))
+	}
+	mat.FwdGEMMBiasInto(pre.Data, x.Data, lanes, fd.W, fd.WT, fd.B)
+	for b := 0; b < lanes; b++ {
+		fd.activateRow(dst.Row(b), pre.Row(b))
+	}
+}
+
+// activateRow applies the layer activation to one preactivation row.
+func (fd *FusedDense) activateRow(dst, pre []float64) {
 	switch fd.Act {
 	case Linear:
 		copy(dst, pre)

@@ -1,0 +1,108 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"aovlis/internal/mat"
+)
+
+// TestStepBatchMatchesStepInto pins a B-lane fused step bit-identical to B
+// independent single-lane steps, across lane counts and cell shapes
+// (hitting the SIMD column blocks and their tails on machines that have
+// the vector kernels, and the portable kernel elsewhere).
+func TestStepBatchMatchesStepInto(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for _, dims := range []struct{ ctx, hidden int }{{7, 3}, {56, 16}, {96, 32}} {
+		ps := NewParamSet()
+		cell := NewLSTMCell(ps, "cell", dims.ctx, dims.hidden, rng)
+		fc := cell.Pack(ps)
+		for _, lanes := range []int{1, 2, 3, 8} {
+			ctx := mat.New(lanes, dims.ctx)
+			cPrev := mat.New(lanes, dims.hidden)
+			for i := range ctx.Data {
+				ctx.Data[i] = rng.NormFloat64()
+			}
+			for i := range cPrev.Data {
+				cPrev.Data[i] = rng.NormFloat64()
+			}
+			h := mat.New(lanes, dims.hidden)
+			cNext := mat.New(lanes, dims.hidden)
+			pre := mat.New(lanes, 4*dims.hidden)
+			fc.StepBatch(h, cNext, pre, ctx, cPrev)
+
+			wantH := make([]float64, dims.hidden)
+			wantC := make([]float64, dims.hidden)
+			wantPre := make([]float64, 4*dims.hidden)
+			for b := 0; b < lanes; b++ {
+				fc.StepInto(wantH, wantC, wantPre, ctx.Row(b), cPrev.Row(b))
+				for j := 0; j < dims.hidden; j++ {
+					if math.Float64bits(h.At(b, j)) != math.Float64bits(wantH[j]) {
+						t.Fatalf("ctx=%d lanes=%d lane %d h[%d]: batch %v, single %v",
+							dims.ctx, lanes, b, j, h.At(b, j), wantH[j])
+					}
+					if math.Float64bits(cNext.At(b, j)) != math.Float64bits(wantC[j]) {
+						t.Fatalf("ctx=%d lanes=%d lane %d c[%d]: batch %v, single %v",
+							dims.ctx, lanes, b, j, cNext.At(b, j), wantC[j])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestApplyBatchMatchesApplyInto pins the batched decoder application to
+// the single-lane form for every activation kind.
+func TestApplyBatchMatchesApplyInto(t *testing.T) {
+	rng := rand.New(rand.NewSource(37))
+	for _, act := range []Activation{Linear, SigmoidAct, TanhAct, ReLUAct, SoftmaxAct} {
+		ps := NewParamSet()
+		d := NewDense(ps, "dec", 19, 11, act, rng)
+		fd := d.Pack(ps)
+		const lanes = 5
+		x := mat.New(lanes, 19)
+		for i := range x.Data {
+			x.Data[i] = rng.NormFloat64()
+		}
+		dst := mat.New(lanes, 11)
+		pre := mat.New(lanes, 11)
+		fd.ApplyBatch(dst, pre, x)
+
+		want := make([]float64, 11)
+		wantPre := make([]float64, 11)
+		for b := 0; b < lanes; b++ {
+			fd.ApplyInto(want, wantPre, x.Row(b))
+			for j := 0; j < 11; j++ {
+				if math.Float64bits(dst.At(b, j)) != math.Float64bits(want[j]) {
+					t.Fatalf("act=%d lane %d out[%d]: batch %v, single %v", act, b, j, dst.At(b, j), want[j])
+				}
+			}
+		}
+	}
+}
+
+// TestPackIntoFillsBothLayouts pins W (row-major) and WT (transposed) to
+// describe the same weights after a parameter mutation and repack.
+func TestPackIntoFillsBothLayouts(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	ps := NewParamSet()
+	cell := NewLSTMCell(ps, "cell", 13, 4, rng)
+	fc := cell.Pack(ps)
+	// Mutate and repack so the test covers the refresh path, not just Pack.
+	for _, name := range ps.Names() {
+		m := ps.Get(name)
+		for i := range m.Data {
+			m.Data[i] += 0.25
+		}
+	}
+	ps.BumpVersion()
+	cell.PackInto(ps, fc)
+	for j := 0; j < fc.WT.Rows; j++ {
+		for k := 0; k < fc.WT.Cols; k++ {
+			if math.Float64bits(fc.WT.At(j, k)) != math.Float64bits(fc.W.At(k, j)) {
+				t.Fatalf("layouts disagree at gate row %d, ctx %d: %v vs %v", j, k, fc.WT.At(j, k), fc.W.At(k, j))
+			}
+		}
+	}
+}

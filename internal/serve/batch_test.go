@@ -1,0 +1,322 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"aovlis/internal/mat"
+)
+
+// testStream builds a deterministic per-channel feature stream.
+func testStream(seed int64, n int) (actions, audience [][]float64) {
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < n; i++ {
+		f := make([]float64, 16)
+		f[(i/4)%6] = 1
+		for j := range f {
+			f[j] += 0.02 + 0.01*rng.Float64()
+		}
+		mat.Normalize(f)
+		a := make([]float64, 6)
+		for j := range a {
+			a[j] = 0.3 + 0.03*rng.NormFloat64()
+		}
+		actions = append(actions, f)
+		audience = append(audience, a)
+	}
+	return actions, audience
+}
+
+// TestPoolBatchedBitIdentical drives the same per-channel streams through
+// a micro-batched pool (async windowed submits to build real backlog) and
+// a serial pool, and requires bit-identical score sequences — batching
+// must change throughput, never results.
+func TestPoolBatchedBitIdentical(t *testing.T) {
+	const channels, segs = 6, 80
+	tmpl := trainTemplate(t)
+
+	type stream struct{ acts, auds [][]float64 }
+	streams := make([]stream, channels)
+	for i := range streams {
+		streams[i].acts, streams[i].auds = testStream(int64(100+i), segs)
+	}
+
+	runPool := func(cfg Config, windowed bool) [][]float64 {
+		p := newTestPool(t, cfg)
+		defer p.Close()
+		for i := 0; i < channels; i++ {
+			det, err := tmpl.Clone()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := p.Attach(fmt.Sprintf("ch-%d", i), det); err != nil {
+				t.Fatal(err)
+			}
+		}
+		scores := make([][]float64, channels)
+		var wg sync.WaitGroup
+		for i := 0; i < channels; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				id := fmt.Sprintf("ch-%d", i)
+				st := streams[i]
+				if !windowed {
+					for s := 0; s < segs; s++ {
+						r, err := p.Observe(id, st.acts[s], st.auds[s])
+						if err != nil {
+							t.Error(err)
+							return
+						}
+						scores[i] = append(scores[i], r.Score)
+					}
+					return
+				}
+				// Windowed async submission: keep W outstanding so the
+				// shard worker actually finds a backlog to batch.
+				const W = 8
+				ring := make([]<-chan Outcome, 0, W)
+				collect := func(out <-chan Outcome) {
+					o := <-out
+					if o.Err != nil {
+						t.Error(o.Err)
+						return
+					}
+					scores[i] = append(scores[i], o.Result.Score)
+				}
+				for s := 0; s < segs; s++ {
+					out, err := p.Submit(id, st.acts[s], st.auds[s])
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					ring = append(ring, out)
+					if len(ring) == W {
+						collect(ring[0])
+						ring = ring[1:]
+					}
+				}
+				for _, out := range ring {
+					collect(out)
+				}
+			}(i)
+		}
+		wg.Wait()
+		return scores
+	}
+
+	serial := runPool(Config{Shards: 3, QueueDepth: 64, Policy: Block}, false)
+	batched := runPool(Config{Shards: 3, QueueDepth: 64, Policy: Block, Batch: 16}, true)
+	for i := range serial {
+		if len(serial[i]) != len(batched[i]) {
+			t.Fatalf("channel %d: %d vs %d results", i, len(serial[i]), len(batched[i]))
+		}
+		for s := range serial[i] {
+			if math.Float64bits(serial[i][s]) != math.Float64bits(batched[i][s]) {
+				t.Fatalf("channel %d segment %d: serial %x, batched %x",
+					i, s, math.Float64bits(serial[i][s]), math.Float64bits(batched[i][s]))
+			}
+		}
+	}
+}
+
+// TestPoolBatchOccupancyStats pins the occupancy counters: with a single
+// producer keeping a deep backlog on one channel, the shard worker must
+// batch multiple segments per scoring round and account for them.
+func TestPoolBatchOccupancyStats(t *testing.T) {
+	tmpl := trainTemplate(t)
+	p := newTestPool(t, Config{Shards: 1, QueueDepth: 256, Policy: Block, Batch: 8})
+	defer p.Close()
+	det, err := tmpl.Clone()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Attach("deep", det); err != nil {
+		t.Fatal(err)
+	}
+	acts, auds := testStream(9, 96)
+	outs := make([]<-chan Outcome, 0, len(acts))
+	for s := range acts {
+		out, err := p.Submit("deep", acts[s], auds[s])
+		if err != nil {
+			t.Fatal(err)
+		}
+		outs = append(outs, out)
+	}
+	for _, out := range outs {
+		if o := <-out; o.Err != nil {
+			t.Fatal(o.Err)
+		}
+	}
+	st, err := p.Stats("deep")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Batched != uint64(len(acts)) {
+		t.Fatalf("batched counter %d, want %d", st.Batched, len(acts))
+	}
+	if st.Batches == 0 || st.Batches >= st.Batched {
+		t.Fatalf("batches %d for %d segments: no batching happened", st.Batches, st.Batched)
+	}
+	if want := float64(st.Batched) / float64(st.Batches); st.BatchOccupancy != want {
+		t.Fatalf("occupancy %v, want %v", st.BatchOccupancy, want)
+	}
+	ps := p.PoolStats()
+	if ps.Batched != st.Batched || ps.Batches != st.Batches || ps.BatchOccupancy != st.BatchOccupancy {
+		t.Fatalf("pool stats %+v disagree with channel stats %+v", ps, st)
+	}
+}
+
+// TestPoolBatchFakeDetectorFallback pins that detectors without
+// ObserveBatch still work under a batched pool (per-segment scoring), and
+// that error accounting matches the serial path.
+func TestPoolBatchFakeDetectorFallback(t *testing.T) {
+	p := newTestPool(t, Config{Shards: 1, QueueDepth: 64, Policy: Block, Batch: 8})
+	defer p.Close()
+	fd := &fakeDetector{warmLeft: 2, anomalyEvery: 5, failEvery: 7}
+	if err := p.Attach("fake", fd); err != nil {
+		t.Fatal(err)
+	}
+	const n = 35
+	outs := make([]<-chan Outcome, 0, n)
+	for i := 0; i < n; i++ {
+		out, err := p.Submit("fake", []float64{1}, []float64{1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		outs = append(outs, out)
+	}
+	var fails, anoms int
+	for _, out := range outs {
+		o := <-out
+		if o.Err != nil {
+			fails++
+		} else if o.Result.Anomaly {
+			anoms++
+		}
+	}
+	if fails != n/7 {
+		t.Fatalf("failures %d, want %d", fails, n/7)
+	}
+	st, err := p.Stats("fake")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Errors != uint64(n/7) || st.Observed != uint64(n-n/7) {
+		t.Fatalf("stats %+v inconsistent", st)
+	}
+	if st.Batched != st.Observed {
+		t.Fatalf("fallback batched counter %d, want %d (scored observations)", st.Batched, st.Observed)
+	}
+}
+
+// TestPoolBatchErrorLaneResubmit pins the mid-batch error contract with a
+// real detector: a dimension-invalid segment in a batched backlog fails
+// alone; its neighbours still score.
+func TestPoolBatchErrorLaneResubmit(t *testing.T) {
+	tmpl := trainTemplate(t)
+	p := newTestPool(t, Config{Shards: 1, QueueDepth: 64, Policy: Block, Batch: 16})
+	defer p.Close()
+	det, err := tmpl.Clone()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Attach("bad-lane", det); err != nil {
+		t.Fatal(err)
+	}
+	acts, auds := testStream(13, 12)
+	acts[6] = []float64{1, 2, 3} // wrong dims mid-backlog
+	outs := make([]<-chan Outcome, 0, len(acts))
+	for s := range acts {
+		out, err := p.Submit("bad-lane", acts[s], auds[s])
+		if err != nil {
+			t.Fatal(err)
+		}
+		outs = append(outs, out)
+	}
+	for s, out := range outs {
+		o := <-out
+		if s == 6 {
+			if o.Err == nil {
+				t.Fatal("bad lane did not fail")
+			}
+			continue
+		}
+		if o.Err != nil {
+			t.Fatalf("segment %d: %v", s, o.Err)
+		}
+	}
+	st, _ := p.Stats("bad-lane")
+	if st.Errors != 1 || st.Observed != uint64(len(acts)-1) {
+		t.Fatalf("stats %+v, want 1 error and %d observed", st, len(acts)-1)
+	}
+}
+
+// TestPoolBatchConfigValidate pins the new Batch field's validation.
+func TestPoolBatchConfigValidate(t *testing.T) {
+	cfg := DefaultConfig()
+	if cfg.Batch < 2 {
+		t.Fatalf("DefaultConfig batching disabled (Batch=%d)", cfg.Batch)
+	}
+	cfg.Batch = -1
+	if err := cfg.Validate(); err == nil {
+		t.Fatal("negative Batch accepted")
+	}
+	cfg.Batch = 0
+	if err := cfg.Validate(); err != nil {
+		t.Fatalf("Batch=0 (serial) rejected: %v", err)
+	}
+}
+
+// TestPoolBatchedSnapshotQuiesce pins that a control job arriving inside a
+// drained backlog still runs at a segment boundary: snapshots under
+// batched load must commit consistent states (full equality is covered by
+// the soak test; here we just hammer the interleaving under -race).
+func TestPoolBatchedSnapshotQuiesce(t *testing.T) {
+	tmpl := trainTemplate(t)
+	p := newTestPool(t, Config{Shards: 2, QueueDepth: 128, Policy: Block, Batch: 8})
+	defer p.Close()
+	for i := 0; i < 4; i++ {
+		det, err := tmpl.Clone()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := p.Attach(fmt.Sprintf("q-%d", i), det); err != nil {
+			t.Fatal(err)
+		}
+	}
+	acts, auds := testStream(21, 60)
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			id := fmt.Sprintf("q-%d", i)
+			outs := make([]<-chan Outcome, 0, len(acts))
+			for s := range acts {
+				out, err := p.Submit(id, acts[s], auds[s])
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				outs = append(outs, out)
+			}
+			for _, out := range outs {
+				if o := <-out; o.Err != nil {
+					t.Error(o.Err)
+				}
+			}
+		}(i)
+	}
+	dir := t.TempDir()
+	for k := 0; k < 3; k++ {
+		if _, err := p.Snapshot(dir); err != nil && !errors.Is(err, ErrClosed) {
+			t.Fatal(err)
+		}
+	}
+	wg.Wait()
+}

@@ -12,10 +12,26 @@
 // preserved per caller per channel because submission order into the
 // shard's FIFO queue is execution order.
 //
+// With Config.Batch > 1 each shard worker micro-batches: it drains up to
+// Batch pending observations per wake-up, groups them by channel
+// (preserving per-channel order), and scores each channel's run through
+// Detector.ObserveBatch — one batched inference pass instead of
+// per-segment GEMVs, bit-identical to serial scoring (see ARCHITECTURE.md
+// §10). Batching changes throughput, never results.
+//
+// The submit path is deliberately lock-free on shared state: the channel
+// table is a copy-on-write map behind an atomic pointer (readers never
+// take a lock that writers hold), and queue sends are guarded by a
+// per-shard gate instead of a pool-global mutex, so producers for
+// different shards never contend on one cache line. A pool-global RWMutex
+// here — the previous design — serialises all producers on the lock word
+// and is exactly the kind of hidden scalar that keeps shard counts from
+// translating into throughput on multicore hosts.
+//
 // The pool is the seam every future scaling layer plugs into: cmd/aovlisd
 // fronts it with HTTP+NDJSON, examples/multichannel drives 64 synthetic
 // channels through it, and the pool benchmark in the root package measures
-// segments/sec against shard count.
+// segments/sec against shard count and batch cap.
 package serve
 
 import (
@@ -36,6 +52,15 @@ import (
 // implementations need not be safe for concurrent use.
 type Detector interface {
 	Observe(actionFeat, audienceFeat []float64) (aovlis.Result, error)
+}
+
+// batchObserver is implemented by detectors that can score a run of
+// pending segments in one call (notably *aovlis.Detector). The contract
+// mirrors aovlis.Detector.ObserveBatch: n segments processed, results[0:n]
+// valid, err (if any) belongs to segment n and later segments are
+// untouched — the shard worker resubmits them.
+type batchObserver interface {
+	ObserveBatch(actionFeats, audienceFeats [][]float64, results []aovlis.Result) (int, error)
 }
 
 // filterStatser is implemented by detectors that expose ADOS filter
@@ -102,11 +127,17 @@ type Config struct {
 	QueueDepth int
 	// Policy selects the behaviour when a queue is full.
 	Policy OverflowPolicy
+	// Batch is the micro-batching drain cap: a shard worker takes up to
+	// Batch pending observations per wake-up and scores each channel's
+	// run in one batched inference pass. 0 or 1 disables batching
+	// (strictly one observation per wake-up). Batching is semantically
+	// transparent — scores are bit-identical to the serial path.
+	Batch int
 }
 
 // DefaultConfig returns a small general-purpose pool configuration.
 func DefaultConfig() Config {
-	return Config{Shards: 4, QueueDepth: 256, Policy: Block}
+	return Config{Shards: 4, QueueDepth: 256, Policy: Block, Batch: 16}
 }
 
 // Validate reports the first invalid field.
@@ -119,6 +150,9 @@ func (c Config) Validate() error {
 	}
 	if c.Policy != Block && c.Policy != DropNewest {
 		return fmt.Errorf("serve: unknown overflow policy %d", int(c.Policy))
+	}
+	if c.Batch < 0 {
+		return fmt.Errorf("serve: Batch must be non-negative, got %d", c.Batch)
 	}
 	return nil
 }
@@ -149,6 +183,8 @@ type Outcome struct {
 // jobs are how the snapshot subsystem quiesces a channel at a segment
 // boundary without stopping the shard: the worker executes jobs serially,
 // so a control job can never interleave with an Observe on the same shard.
+// Under micro-batching a control job additionally flushes the batch drained
+// before it, preserving queue order.
 type job struct {
 	ch       *channel
 	action   []float64
@@ -173,12 +209,42 @@ type channel struct {
 	errors   atomic.Uint64 // detector errors
 	filtered atomic.Uint64 // ADOS decisions made without the exact REIA
 	pending  atomic.Int64  // enqueued but not yet executed
+
+	batches atomic.Uint64 // scoring rounds executed (batched mode only)
+	batched atomic.Uint64 // observations scored across those rounds
 }
 
-// shard is one worker goroutine and its ingest queue.
+// shard is one worker goroutine and its ingest queue. The gate makes
+// queue sends safe against Close without any pool-global lock: senders
+// hold the read side across the send; Close write-locks, marks the shard
+// closed and closes the queue. Contention is per shard, so producers for
+// different shards scale independently.
 type shard struct {
 	index int
 	queue chan job
+
+	gate   sync.RWMutex
+	closed bool
+}
+
+// send enqueues j honouring the overflow policy. It reports ErrClosed
+// after Close won the gate, ErrOverloaded when dropping.
+func (s *shard) send(j job, drop bool) error {
+	s.gate.RLock()
+	defer s.gate.RUnlock()
+	if s.closed {
+		return ErrClosed
+	}
+	if drop {
+		select {
+		case s.queue <- j:
+		default:
+			return ErrOverloaded
+		}
+		return nil
+	}
+	s.queue <- j
+	return nil
 }
 
 // ChannelStats is a point-in-time snapshot of one channel's counters.
@@ -202,6 +268,14 @@ type ChannelStats struct {
 	// QueueDepth is the number of this channel's observations enqueued but
 	// not yet executed.
 	QueueDepth int64 `json:"queue_depth"`
+	// Batches counts the scoring rounds the shard worker ran for this
+	// channel in micro-batched mode, and Batched the observations scored
+	// across them; BatchOccupancy is their ratio — the mean number of
+	// segments amortised per inference round. 1.0 means the worker never
+	// found a backlog to batch; all three stay zero with batching off.
+	Batches        uint64  `json:"batches,omitempty"`
+	Batched        uint64  `json:"batched,omitempty"`
+	BatchOccupancy float64 `json:"batch_occupancy,omitempty"`
 }
 
 // PoolStats aggregates the pool.
@@ -215,6 +289,12 @@ type PoolStats struct {
 	Detected uint64 `json:"detected"`
 	Dropped  uint64 `json:"dropped"`
 	Errors   uint64 `json:"errors"`
+	// Batches/Batched sum the channels' micro-batching counters;
+	// BatchOccupancy is the pool-wide mean batch size (0 with batching
+	// off).
+	Batches        uint64  `json:"batches,omitempty"`
+	Batched        uint64  `json:"batched,omitempty"`
+	BatchOccupancy float64 `json:"batch_occupancy,omitempty"`
 	// QueueDepths is the current length of each shard's ingest queue.
 	QueueDepths []int `json:"queue_depths"`
 }
@@ -226,9 +306,13 @@ type DetectorPool struct {
 	shards []*shard
 	wg     sync.WaitGroup
 
-	mu       sync.RWMutex
-	channels map[string]*channel
-	closed   bool
+	// chans is the copy-on-write channel table: the submit path loads it
+	// with one atomic read and never blocks on writers. Attach/Detach
+	// build a fresh map under mu and publish it atomically.
+	chans atomic.Pointer[map[string]*channel]
+
+	mu     sync.Mutex // guards channel-table mutation and closed
+	closed bool
 }
 
 // NewDetectorPool starts the shard workers and returns an empty pool.
@@ -237,7 +321,9 @@ func NewDetectorPool(cfg Config) (*DetectorPool, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	p := &DetectorPool{cfg: cfg, channels: make(map[string]*channel)}
+	p := &DetectorPool{cfg: cfg}
+	empty := make(map[string]*channel)
+	p.chans.Store(&empty)
 	for i := 0; i < cfg.Shards; i++ {
 		s := &shard{index: i, queue: make(chan job, cfg.QueueDepth)}
 		p.shards = append(p.shards, s)
@@ -248,33 +334,180 @@ func NewDetectorPool(cfg Config) (*DetectorPool, error) {
 }
 
 // runShard executes the channel-confined detection loop of one shard: it
-// alone calls Observe on the detectors of the channels hashed to it, which
-// is what makes the single-writer Detector safe under a concurrent pool.
+// alone calls Observe/ObserveBatch on the detectors of the channels hashed
+// to it, which is what makes the single-writer Detector safe under a
+// concurrent pool. With batching enabled the worker drains a run of
+// pending jobs per wake-up and scores per-channel groups in one batched
+// call each.
 func (p *DetectorPool) runShard(s *shard) {
 	defer p.wg.Done()
+	if p.cfg.Batch < 2 {
+		for j := range s.queue {
+			if j.control != nil {
+				j.control()
+				continue
+			}
+			j.ch.pending.Add(-1)
+			res, err := j.ch.det.Observe(j.action, j.audience)
+			p.finishJob(j.ch, &j, res, err)
+			if j.ch.fstats != nil && err == nil {
+				j.ch.filtered.Store(uint64(j.ch.fstats.FilterStats().FilteredTotal()))
+			}
+		}
+		return
+	}
+
+	var (
+		jobs    = make([]job, 0, p.cfg.Batch)
+		scratch batchScratch
+	)
 	for j := range s.queue {
 		if j.control != nil {
 			j.control()
 			continue
 		}
-		j.ch.pending.Add(-1)
-		res, err := j.ch.det.Observe(j.action, j.audience)
-		switch {
-		case err != nil:
-			j.ch.errors.Add(1)
-		case res.Warmup:
-			j.ch.observed.Add(1)
-			j.ch.warmups.Add(1)
-		default:
-			j.ch.observed.Add(1)
-			if res.Anomaly {
-				j.ch.detected.Add(1)
+		jobs = append(jobs[:0], j)
+		// Drain without blocking: whatever is already queued, up to the
+		// batch cap. A control job ends the drain so it still runs at a
+		// segment boundary in queue order.
+		var control func()
+	drain:
+		for len(jobs) < p.cfg.Batch {
+			select {
+			case j2, ok := <-s.queue:
+				if !ok {
+					break drain
+				}
+				if j2.control != nil {
+					control = j2.control
+					break drain
+				}
+				jobs = append(jobs, j2)
+			default:
+				break drain
 			}
 		}
-		if j.ch.fstats != nil && err == nil {
-			j.ch.filtered.Store(uint64(j.ch.fstats.FilterStats().FilteredTotal()))
+		p.runBatch(jobs, &scratch)
+		if control != nil {
+			control()
 		}
-		j.out <- Outcome{Result: res, Err: err}
+	}
+}
+
+// batchScratch is a shard worker's reusable micro-batching state.
+type batchScratch struct {
+	acts    [][]float64
+	auds    [][]float64
+	jobIdx  []int
+	results []aovlis.Result
+}
+
+// runBatch groups the drained jobs by channel (first-seen order, original
+// order within each channel) and scores each group — batched when the
+// detector supports it, serially otherwise. Outcomes are delivered per
+// job; batching is invisible to callers.
+func (p *DetectorPool) runBatch(jobs []job, sc *batchScratch) {
+	for i := range jobs {
+		jobs[i].ch.pending.Add(-1)
+	}
+	for i := range jobs {
+		ch := jobs[i].ch
+		if ch == nil { // already scored as part of an earlier group
+			continue
+		}
+		n := 0
+		for k := i; k < len(jobs); k++ {
+			if jobs[k].ch == ch {
+				n++
+			}
+		}
+		bo, batchable := ch.det.(batchObserver)
+		if n == 1 || !batchable {
+			for k := i; k < len(jobs); k++ {
+				if jobs[k].ch != ch {
+					continue
+				}
+				res, err := ch.det.Observe(jobs[k].action, jobs[k].audience)
+				p.finishJob(ch, &jobs[k], res, err)
+				ch.batches.Add(1)
+				if err == nil {
+					ch.batched.Add(1)
+				}
+				jobs[k].ch = nil
+			}
+			p.refreshFiltered(ch)
+			continue
+		}
+		sc.acts = sc.acts[:0]
+		sc.auds = sc.auds[:0]
+		sc.jobIdx = sc.jobIdx[:0]
+		for k := i; k < len(jobs); k++ {
+			if jobs[k].ch == ch {
+				sc.acts = append(sc.acts, jobs[k].action)
+				sc.auds = append(sc.auds, jobs[k].audience)
+				sc.jobIdx = append(sc.jobIdx, k)
+				jobs[k].ch = nil
+			}
+		}
+		p.runGroup(ch, bo, jobs, sc)
+		p.refreshFiltered(ch)
+	}
+	// Drop caller feature references from the reused scratch.
+	for i := range sc.acts {
+		sc.acts[i], sc.auds[i] = nil, nil
+	}
+}
+
+// runGroup scores one channel's run of segments through ObserveBatch,
+// resubmitting the tail after a failed segment so error semantics match
+// the serial path (each segment fails or succeeds individually).
+func (p *DetectorPool) runGroup(ch *channel, bo batchObserver, jobs []job, sc *batchScratch) {
+	total := len(sc.jobIdx)
+	if cap(sc.results) < total {
+		sc.results = make([]aovlis.Result, total)
+	}
+	done := 0
+	for done < total {
+		results := sc.results[:total-done]
+		n, err := bo.ObserveBatch(sc.acts[done:], sc.auds[done:], results)
+		ch.batches.Add(1)
+		ch.batched.Add(uint64(n))
+		for x := 0; x < n; x++ {
+			p.finishJob(ch, &jobs[sc.jobIdx[done+x]], results[x], nil)
+		}
+		done += n
+		if err == nil {
+			return
+		}
+		if done < total {
+			p.finishJob(ch, &jobs[sc.jobIdx[done]], aovlis.Result{}, err)
+			done++
+		}
+	}
+}
+
+// finishJob updates the channel counters for one scored observation and
+// delivers its outcome.
+func (p *DetectorPool) finishJob(ch *channel, j *job, res aovlis.Result, err error) {
+	switch {
+	case err != nil:
+		ch.errors.Add(1)
+	case res.Warmup:
+		ch.observed.Add(1)
+		ch.warmups.Add(1)
+	default:
+		ch.observed.Add(1)
+		if res.Anomaly {
+			ch.detected.Add(1)
+		}
+	}
+	j.out <- Outcome{Result: res, Err: err}
+}
+
+// refreshFiltered re-reads the detector's ADOS filter gauge.
+func (p *DetectorPool) refreshFiltered(ch *channel) {
+	if ch.fstats != nil {
+		ch.filtered.Store(uint64(ch.fstats.FilterStats().FilteredTotal()))
 	}
 }
 
@@ -283,6 +516,23 @@ func (p *DetectorPool) shardFor(id string) *shard {
 	h := fnv.New32a()
 	h.Write([]byte(id))
 	return p.shards[int(h.Sum32())%len(p.shards)]
+}
+
+// lookup resolves a channel id through the copy-on-write table.
+func (p *DetectorPool) lookup(id string) (*channel, bool) {
+	ch, ok := (*p.chans.Load())[id]
+	return ch, ok
+}
+
+// publish installs a mutated copy of the channel table. Callers hold p.mu.
+func (p *DetectorPool) publish(mutate func(map[string]*channel)) {
+	old := *p.chans.Load()
+	next := make(map[string]*channel, len(old)+1)
+	for id, ch := range old {
+		next[id] = ch
+	}
+	mutate(next)
+	p.chans.Store(&next)
 }
 
 // Attach registers a channel under id, transferring ownership of det to
@@ -300,7 +550,7 @@ func (p *DetectorPool) Attach(id string, det Detector) error {
 	if p.closed {
 		return ErrClosed
 	}
-	if _, ok := p.channels[id]; ok {
+	if _, ok := p.lookup(id); ok {
 		return fmt.Errorf("%w: %q", ErrChannelExists, id)
 	}
 	fs, _ := det.(filterStatser)
@@ -318,7 +568,7 @@ func (p *DetectorPool) Attach(id string, det Detector) error {
 			ch.filtered.Store(uint64(n))
 		}
 	}
-	p.channels[id] = ch
+	p.publish(func(m map[string]*channel) { m[id] = ch })
 	return nil
 }
 
@@ -330,19 +580,18 @@ func (p *DetectorPool) Detach(id string) error {
 	if p.closed {
 		return ErrClosed
 	}
-	if _, ok := p.channels[id]; !ok {
+	if _, ok := p.lookup(id); !ok {
 		return fmt.Errorf("%w: %q", ErrUnknownChannel, id)
 	}
-	delete(p.channels, id)
+	p.publish(func(m map[string]*channel) { delete(m, id) })
 	return nil
 }
 
 // Channels returns the attached channel ids, sorted.
 func (p *DetectorPool) Channels() []string {
-	p.mu.RLock()
-	defer p.mu.RUnlock()
-	out := make([]string, 0, len(p.channels))
-	for id := range p.channels {
+	m := *p.chans.Load()
+	out := make([]string, 0, len(m))
+	for id := range m {
 		out = append(out, id)
 	}
 	sort.Strings(out)
@@ -360,37 +609,52 @@ func (p *DetectorPool) Submit(id string, actionFeat, audienceFeat []float64) (<-
 	return p.submit(id, actionFeat, audienceFeat, make(chan Outcome, 1))
 }
 
-// submit is Submit with a caller-supplied outcome channel (buffered, cap 1)
-// so the synchronous Observe path can recycle channels through a pool.
-func (p *DetectorPool) submit(id string, actionFeat, audienceFeat []float64, out chan Outcome) (chan Outcome, error) {
-	// The read lock spans the queue send: Close takes the write lock, so a
-	// blocked sender holds Close off while the shard workers drain the
-	// queue it is waiting on — backpressure without lost observations.
-	p.mu.RLock()
-	defer p.mu.RUnlock()
-	if p.closed {
-		return nil, ErrClosed
+// SubmitInto is Submit with a caller-owned outcome channel, so high-rate
+// async producers can recycle channels instead of allocating one per
+// segment (at tens of thousands of segments per second, per-submit
+// channel garbage is measurable GC pressure and latency jitter). out must
+// be buffered with capacity ≥ 1 and fully drained before reuse; exactly
+// one Outcome is delivered per successful SubmitInto.
+func (p *DetectorPool) SubmitInto(id string, actionFeat, audienceFeat []float64, out chan Outcome) error {
+	if cap(out) < 1 {
+		return fmt.Errorf("serve: SubmitInto outcome channel must be buffered (cap ≥ 1)")
 	}
-	ch, ok := p.channels[id]
+	_, err := p.submit(id, actionFeat, audienceFeat, out)
+	return err
+}
+
+// submit is Submit with a caller-supplied outcome channel (buffered, cap 1)
+// so the synchronous Observe path can recycle channels through a pool. The
+// whole path is lock-free on pool-global state: one atomic map load, then
+// the per-shard send gate.
+func (p *DetectorPool) submit(id string, actionFeat, audienceFeat []float64, out chan Outcome) (chan Outcome, error) {
+	ch, ok := p.lookup(id)
 	if !ok {
+		if p.isClosed() {
+			return nil, ErrClosed
+		}
 		return nil, fmt.Errorf("%w: %q", ErrUnknownChannel, id)
 	}
 	j := job{ch: ch, action: actionFeat, audience: audienceFeat, out: out}
 	// The gauge is raised before the send so the worker's decrement can
 	// never observe it at zero.
 	ch.pending.Add(1)
-	if p.cfg.Policy == DropNewest {
-		select {
-		case ch.shard.queue <- j:
-		default:
-			ch.pending.Add(-1)
+	if err := ch.shard.send(j, p.cfg.Policy == DropNewest); err != nil {
+		ch.pending.Add(-1)
+		if errors.Is(err, ErrOverloaded) {
 			ch.dropped.Add(1)
 			return nil, fmt.Errorf("%w (channel %q, shard %d)", ErrOverloaded, id, ch.shard.index)
 		}
-	} else {
-		ch.shard.queue <- j
+		return nil, err
 	}
 	return j.out, nil
+}
+
+// isClosed reports the pool's closed flag.
+func (p *DetectorPool) isClosed() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.closed
 }
 
 // outcomeChans recycles the buffered outcome channels of the synchronous
@@ -413,9 +677,7 @@ func (p *DetectorPool) Observe(id string, actionFeat, audienceFeat []float64) (a
 
 // Stats snapshots one channel's counters.
 func (p *DetectorPool) Stats(id string) (ChannelStats, error) {
-	p.mu.RLock()
-	ch, ok := p.channels[id]
-	p.mu.RUnlock()
+	ch, ok := p.lookup(id)
 	if !ok {
 		return ChannelStats{}, fmt.Errorf("%w: %q", ErrUnknownChannel, id)
 	}
@@ -425,7 +687,7 @@ func (p *DetectorPool) Stats(id string) (ChannelStats, error) {
 // snapshot reads the channel counters atomically (each counter individually;
 // the set is eventually consistent while the shard works).
 func (c *channel) snapshot() ChannelStats {
-	return ChannelStats{
+	st := ChannelStats{
 		Channel:    c.id,
 		Shard:      c.shard.index,
 		Observed:   c.observed.Load(),
@@ -435,19 +697,20 @@ func (c *channel) snapshot() ChannelStats {
 		Dropped:    c.dropped.Load(),
 		Errors:     c.errors.Load(),
 		QueueDepth: c.pending.Load(),
+		Batches:    c.batches.Load(),
+		Batched:    c.batched.Load(),
 	}
+	if st.Batches > 0 {
+		st.BatchOccupancy = float64(st.Batched) / float64(st.Batches)
+	}
+	return st
 }
 
 // AllStats snapshots every channel, sorted by id.
 func (p *DetectorPool) AllStats() []ChannelStats {
-	p.mu.RLock()
-	chans := make([]*channel, 0, len(p.channels))
-	for _, ch := range p.channels {
-		chans = append(chans, ch)
-	}
-	p.mu.RUnlock()
-	out := make([]ChannelStats, 0, len(chans))
-	for _, ch := range chans {
+	m := *p.chans.Load()
+	out := make([]ChannelStats, 0, len(m))
+	for _, ch := range m {
 		out = append(out, ch.snapshot())
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Channel < out[j].Channel })
@@ -466,6 +729,11 @@ func (p *DetectorPool) PoolStats() PoolStats {
 		st.Detected += cs.Detected
 		st.Dropped += cs.Dropped
 		st.Errors += cs.Errors
+		st.Batches += cs.Batches
+		st.Batched += cs.Batched
+	}
+	if st.Batches > 0 {
+		st.BatchOccupancy = float64(st.Batched) / float64(st.Batches)
 	}
 	return st
 }
@@ -481,10 +749,13 @@ func (p *DetectorPool) Close() error {
 	}
 	p.closed = true
 	p.mu.Unlock()
-	// No Submit can be mid-send now: senders hold the read lock across the
-	// send, and the write lock above waited them out.
+	// Win each shard's gate: no sender can be mid-send once the write lock
+	// is held, so closing the queue is safe; late senders observe closed.
 	for _, s := range p.shards {
+		s.gate.Lock()
+		s.closed = true
 		close(s.queue)
+		s.gate.Unlock()
 	}
 	p.wg.Wait()
 	return nil

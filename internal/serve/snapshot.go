@@ -81,18 +81,17 @@ func channelFile(id string, gen int64) string {
 
 // quiesce runs fn inside ch's shard worker between observations and waits
 // for it to finish. The enqueue blocks for queue space (control jobs are
-// never dropped: a checkpoint must not silently omit a busy channel).
+// never dropped: a checkpoint must not silently omit a busy channel). In
+// micro-batched mode the worker flushes the observations drained ahead of
+// the control job first, so fn still runs at a segment boundary in queue
+// order.
 func (p *DetectorPool) quiesce(ch *channel, fn func()) error {
 	done := make(chan struct{})
-	// Same locking pattern as submit: the read lock spans the send so Close
+	// Same gate as submit: the shard's read lock spans the send so Close
 	// cannot close the queue under a blocked sender.
-	p.mu.RLock()
-	if p.closed {
-		p.mu.RUnlock()
-		return ErrClosed
+	if err := ch.shard.send(job{control: func() { fn(); close(done) }}, false); err != nil {
+		return err
 	}
-	ch.shard.queue <- job{control: func() { fn(); close(done) }}
-	p.mu.RUnlock()
 	<-done
 	return nil
 }
@@ -138,12 +137,11 @@ func (p *DetectorPool) Snapshot(dir string) (Report, error) {
 		return Report{}, fmt.Errorf("serve: snapshot dir: %w", err)
 	}
 
-	p.mu.RLock()
-	chans := make([]*channel, 0, len(p.channels))
-	for _, ch := range p.channels {
+	chmap := *p.chans.Load()
+	chans := make([]*channel, 0, len(chmap))
+	for _, ch := range chmap {
 		chans = append(chans, ch)
 	}
-	p.mu.RUnlock()
 	sort.Slice(chans, func(i, j int) bool { return chans[i].id < chans[j].id })
 
 	var (
@@ -229,9 +227,7 @@ func (p *DetectorPool) Snapshot(dir string) (Report, error) {
 // half of channel migration: export from one pool, AttachSnapshot into
 // another (possibly in a different process).
 func (p *DetectorPool) ExportChannel(id string, w io.Writer) error {
-	p.mu.RLock()
-	ch, ok := p.channels[id]
-	p.mu.RUnlock()
+	ch, ok := p.lookup(id)
 	if !ok {
 		return fmt.Errorf("%w: %q", ErrUnknownChannel, id)
 	}

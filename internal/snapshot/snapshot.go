@@ -217,16 +217,31 @@ func WriteManifest(dir string, m Manifest) error {
 
 // ReadManifest loads and validates dir's manifest.
 func ReadManifest(dir string) (Manifest, error) {
-	var m Manifest
 	data, err := os.ReadFile(filepath.Join(dir, ManifestName))
 	if err != nil {
-		return m, fmt.Errorf("snapshot: reading manifest: %w", err)
+		return Manifest{}, fmt.Errorf("snapshot: reading manifest: %w", err)
 	}
+	return ParseManifest(data)
+}
+
+// ParseManifest decodes and validates a manifest payload. Split from
+// ReadManifest so untrusted bytes can be validated without touching the
+// filesystem (the fuzz targets drive this directly).
+func ParseManifest(data []byte) (Manifest, error) {
+	var m Manifest
 	if err := json.Unmarshal(data, &m); err != nil {
 		return m, fmt.Errorf("snapshot: decoding manifest: %w", err)
 	}
 	if m.Version < 1 || m.Version > Version {
 		return m, fmt.Errorf("snapshot: manifest version %d not in supported range [1, %d]", m.Version, Version)
+	}
+	for i, e := range m.Channels {
+		if e.ID == "" || e.File == "" {
+			return m, fmt.Errorf("snapshot: manifest entry %d has empty id or file", i)
+		}
+		if e.Bytes < 0 {
+			return m, fmt.Errorf("snapshot: manifest entry %q records negative size %d", e.ID, e.Bytes)
+		}
 	}
 	return m, nil
 }

@@ -7,16 +7,24 @@ package aovlis_test
 //
 // Run it with
 //
-//	go test -bench BenchmarkPoolThroughput -benchtime 2s
+//	go test -run '^$' -bench BenchmarkPoolThroughput -benchtime 2s .
 //
-// and read three metrics: segments/s (throughput), and p50-µs / p99-µs —
-// the per-segment Observe latency distribution seen by the producers
-// (queue wait + detection), which the mean ns/op hides. One trained
-// detector is cloned over 16 channels, driven synchronously from
-// GOMAXPROCS producer goroutines, at 1, 4, 8 and 16 shards.
+// and read four metrics: segments/s (throughput), p50-µs / p99-µs — the
+// per-segment Submit→outcome latency distribution seen by the producers
+// (queue wait + detection), which the mean ns/op hides — and occupancy,
+// the mean number of segments each shard wake-up scored in one batched
+// inference pass. One trained detector is cloned over 16 channels; each
+// channel has one producer streaming it with a small window of
+// asynchronous in-flight submissions (the steady state of a live NDJSON
+// feed), at 1, 4, 8 and 16 shards with micro-batching on.
+//
+// BenchmarkPoolThroughputSerial is the same workload submitted strictly
+// synchronously to a batching-off pool — the PR 4 configuration — so the
+// micro-batching delta stays measurable over time.
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -64,21 +72,39 @@ func poolBenchFixture() error {
 }
 
 // BenchmarkPoolThroughput measures end-to-end pool throughput
-// (segments/sec) against shard count.
+// (segments/sec), producer-visible latency quantiles and batch occupancy
+// against shard count, with micro-batching on.
 func BenchmarkPoolThroughput(b *testing.B) {
 	for _, shards := range []int{1, 4, 8, 16} {
 		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
-			benchmarkPoolThroughput(b, shards)
+			benchmarkPoolThroughput(b, serve.Config{
+				Shards: shards, QueueDepth: 1024, Policy: serve.Block, Batch: 32,
+			}, 2)
 		})
 	}
 }
 
-func benchmarkPoolThroughput(b *testing.B, shards int) {
+// BenchmarkPoolThroughputSerial is the batching-off baseline: synchronous
+// closed-loop producers against a serial pool (the PR 4 configuration).
+func BenchmarkPoolThroughputSerial(b *testing.B) {
+	for _, shards := range []int{1, 8} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			benchmarkPoolThroughput(b, serve.Config{
+				Shards: shards, QueueDepth: 1024, Policy: serve.Block,
+			}, 1)
+		})
+	}
+}
+
+// benchmarkPoolThroughput drives 16 channels, one producer per channel,
+// each keeping up to `window` submissions in flight (window 1 = the
+// synchronous Observe loop).
+func benchmarkPoolThroughput(b *testing.B, cfg serve.Config, window int) {
 	if err := poolBenchFixture(); err != nil {
 		b.Fatal(err)
 	}
 	const channels = 16
-	pool, err := serve.NewDetectorPool(serve.Config{Shards: shards, QueueDepth: 1024, Policy: serve.Block})
+	pool, err := serve.NewDetectorPool(cfg)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -103,26 +129,66 @@ func benchmarkPoolThroughput(b *testing.B, shards int) {
 	}
 
 	n := len(poolBench.actions)
-	var next atomic.Uint64
+	var producerIdx atomic.Uint64
 	var failed atomic.Value
 	// Per-producer latency samples, merged after the run; preallocated and
-	// appended per goroutine so sampling costs one time.Since per Observe.
+	// appended per goroutine so sampling costs one time.Since per segment.
 	var latMu sync.Mutex
 	var latencies []time.Duration
+	// One producer per channel: RunParallel spawns parallelism×GOMAXPROCS
+	// goroutines, so round up to at least `channels` and park the excess —
+	// an early-returning goroutine consumes no iterations, so the work
+	// redistributes to the per-channel producers regardless of GOMAXPROCS.
+	par := (channels + runtime.GOMAXPROCS(0) - 1) / runtime.GOMAXPROCS(0)
+	b.SetParallelism(par)
 	b.ReportAllocs()
 	b.ResetTimer()
 	b.RunParallel(func(pb *testing.PB) {
+		ci := int(producerIdx.Add(1) - 1)
+		if ci >= channels {
+			return // excess goroutine from the parallelism round-up
+		}
+		id := ids[ci]
+		// Fixed ring of recycled outcome channels (SubmitInto): the
+		// producer itself must not allocate per segment, or its garbage
+		// dominates the latency quantiles on small hosts.
+		outs := make([]chan serve.Outcome, window)
+		starts := make([]time.Time, window)
+		for i := range outs {
+			outs[i] = make(chan serve.Outcome, 1)
+		}
 		local := make([]time.Duration, 0, 1<<16)
-		for pb.Next() {
-			i := next.Add(1)
-			idx := 9 + int(i)%(n-9)
-			start := time.Now()
-			_, err := pool.Observe(ids[int(i)%channels], poolBench.actions[idx], poolBench.audience[idx])
-			local = append(local, time.Since(start))
-			if err != nil {
-				failed.Store(err)
-				return
+		inflight := 0 // slots [head-inflight, head) are pending
+		head := 0
+		collect := func(slot int) bool {
+			o := <-outs[slot]
+			local = append(local, time.Since(starts[slot]))
+			if o.Err != nil {
+				failed.Store(o.Err)
+				return false
 			}
+			return true
+		}
+		step := 0
+		for pb.Next() {
+			idx := 9 + (ci*977+step)%(n-9)
+			step++
+			if inflight == window {
+				if !collect((head + window - inflight) % window) {
+					break
+				}
+				inflight--
+			}
+			starts[head] = time.Now()
+			if err := pool.SubmitInto(id, poolBench.actions[idx], poolBench.audience[idx], outs[head]); err != nil {
+				failed.Store(err)
+				break
+			}
+			head = (head + 1) % window
+			inflight++
+		}
+		for ; inflight > 0; inflight-- {
+			collect((head + window - inflight) % window)
 		}
 		latMu.Lock()
 		latencies = append(latencies, local...)
@@ -134,6 +200,9 @@ func benchmarkPoolThroughput(b *testing.B, shards int) {
 	}
 	if sec := b.Elapsed().Seconds(); sec > 0 {
 		b.ReportMetric(float64(b.N)/sec, "segments/s")
+	}
+	if st := pool.PoolStats(); st.BatchOccupancy > 0 {
+		b.ReportMetric(st.BatchOccupancy, "occupancy")
 	}
 	if len(latencies) > 0 {
 		sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
