@@ -63,6 +63,20 @@ type Config struct {
 	EnableUpdate bool
 	// Update configures the updater when EnableUpdate is set.
 	Update update.Config
+	// FastMath switches the inference hot path to the polynomial SIMD
+	// exp/tanh gate kernels (a few ULP from the libm-exact kernels; the
+	// tolerance is pinned by internal/mat's property tests and the
+	// verdict-flip-rate harness). Training and the autodiff tape stay
+	// exact. AOVLIS_FASTMATH=1 forces this on regardless of the field.
+	FastMath bool
+	// Tiered enables bound-gated skipping of the exact LSTM predict: when
+	// the last exactly-scored segment's predictions still clear the JSmax
+	// normal bound with margin, the segment is declared normal without
+	// running the model (see ados.TierPlan for the guard rails).
+	Tiered bool
+	// Tier configures the skip gate when Tiered is set. The zero value
+	// means ados.DefaultTierConfig().
+	Tier ados.TierConfig
 	// Seed drives all stochastic choices.
 	Seed int64
 }
@@ -95,7 +109,21 @@ func (c Config) Validate() error {
 	if c.TauQuantile < 0 || c.TauQuantile > 1 {
 		return fmt.Errorf("aovlis: TauQuantile must be in [0,1], got %v", c.TauQuantile)
 	}
+	if c.Tiered {
+		if _, err := ados.NewTierPlan(c.tierConfig(), c.ActionDim, c.AudienceDim); err != nil {
+			return err
+		}
+	}
 	return c.modelConfig().Validate()
+}
+
+// tierConfig resolves the tier gate configuration, defaulting the zero
+// value to ados.DefaultTierConfig().
+func (c Config) tierConfig() ados.TierConfig {
+	if c.Tier == (ados.TierConfig{}) {
+		return ados.DefaultTierConfig()
+	}
+	return c.Tier
 }
 
 func (c Config) modelConfig() core.Config {
@@ -147,6 +175,7 @@ type Detector struct {
 	cfg    Config
 	model  *core.Model
 	filter *ados.Filter
+	tier   *ados.TierPlan
 	upd    *update.Updater
 	tau    float64
 
@@ -229,6 +258,16 @@ func (d *Detector) initRuntime(seedSamples []core.Sample) error {
 		return err
 	}
 	d.filter = filter
+	if d.cfg.Tiered {
+		tier, err := ados.NewTierPlan(d.cfg.tierConfig(), d.cfg.ActionDim, d.cfg.AudienceDim)
+		if err != nil {
+			return err
+		}
+		d.tier = tier
+	}
+	// FastMath is a runtime mode of the inference plan, not part of the
+	// serialised model: every construction path re-applies it here.
+	d.model.SetFastMath(d.cfg.FastMath)
 	if d.cfg.EnableUpdate {
 		upd, err := update.New(d.model, d.cfg.Update)
 		if err != nil {
@@ -269,6 +308,39 @@ func (d *Detector) Model() *core.Model { return d.model }
 // FilterStats returns the ADOS filter activity counters.
 func (d *Detector) FilterStats() ados.Stats { return d.filter.Stats() }
 
+// SetScoringMode reconfigures the runtime scoring tiers of an existing
+// detector — the fast-math gate kernels and the bound-gated tier skip —
+// for detectors restored by Load from a model saved without them. Both
+// fields of the scoring mode are set; enabling Tiered on an untiered
+// detector builds a fresh gate, disabling drops it. SetScoringMode
+// mutates detector state and is writer activity under the single-writer
+// contract; future Clone/Save calls carry the new mode.
+func (d *Detector) SetScoringMode(fastMath, tiered bool) error {
+	if tiered && d.tier == nil {
+		tier, err := ados.NewTierPlan(d.cfg.tierConfig(), d.cfg.ActionDim, d.cfg.AudienceDim)
+		if err != nil {
+			return err
+		}
+		d.tier = tier
+	}
+	if !tiered {
+		d.tier = nil
+	}
+	d.cfg.FastMath = fastMath
+	d.cfg.Tiered = tiered
+	d.model.SetFastMath(fastMath)
+	return nil
+}
+
+// TierStats returns the tier gate counters (the zero value when Tiered is
+// off).
+func (d *Detector) TierStats() ados.TierStats {
+	if d.tier == nil {
+		return ados.TierStats{}
+	}
+	return d.tier.Stats()
+}
+
 // Observed and Detected return stream-lifetime counters.
 func (d *Detector) Observed() int { return d.observed }
 
@@ -288,6 +360,12 @@ func (d *Detector) Observe(actionFeat, audienceFeat []float64) (Result, error) {
 		return Result{}, ErrConcurrentObserve
 	}
 	defer d.observing.Store(0)
+	return d.observeLocked(actionFeat, audienceFeat)
+}
+
+// observeLocked is Observe's body, shared with the tiered ObserveBatch
+// path; the caller holds the single-writer flag.
+func (d *Detector) observeLocked(actionFeat, audienceFeat []float64) (Result, error) {
 	if len(actionFeat) != d.cfg.ActionDim || len(audienceFeat) != d.cfg.AudienceDim {
 		return Result{}, fmt.Errorf("aovlis: feature dims %d/%d, detector expects %d/%d",
 			len(actionFeat), len(audienceFeat), d.cfg.ActionDim, d.cfg.AudienceDim)
@@ -303,25 +381,46 @@ func (d *Detector) Observe(actionFeat, audienceFeat []float64) (Result, error) {
 		d.fhatBuf = make([]float64, d.cfg.ActionDim)
 		d.ahatBuf = make([]float64, d.cfg.AudienceDim)
 	}
-	sample := core.Sample{
-		ActionSeq:      d.actWin,
-		AudienceSeq:    d.audWin,
-		ActionTarget:   actionFeat,
-		AudienceTarget: audienceFeat,
-		Index:          d.observed - 1,
+	// Tier 0: the anchor bound may clear the segment as normal without
+	// running the model at all. The gate reads the filter's live config so
+	// SetTau/Recalibrate are honoured immediately.
+	var res Result
+	scored := false
+	if d.tier != nil {
+		if tres, ok := d.tier.Gate(actionFeat, audienceFeat, d.filter.Config()); ok {
+			res = Result{
+				Anomaly: false,
+				Score:   tres.REIA,
+				Exact:   false,
+				Path:    tres.Path.String(),
+			}
+			scored = true
+		}
 	}
-	if err := d.model.PredictInto(&sample, d.fhatBuf, d.ahatBuf); err != nil {
-		return Result{}, err
-	}
-	fres, err := d.filter.Decide(actionFeat, d.fhatBuf, audienceFeat, d.ahatBuf)
-	if err != nil {
-		return Result{}, err
-	}
-	res := Result{
-		Anomaly: fres.Anomaly,
-		Score:   fres.REIA,
-		Exact:   fres.Exact,
-		Path:    fres.Path.String(),
+	if !scored {
+		sample := core.Sample{
+			ActionSeq:      d.actWin,
+			AudienceSeq:    d.audWin,
+			ActionTarget:   actionFeat,
+			AudienceTarget: audienceFeat,
+			Index:          d.observed - 1,
+		}
+		if err := d.model.PredictInto(&sample, d.fhatBuf, d.ahatBuf); err != nil {
+			return Result{}, err
+		}
+		fres, err := d.filter.Decide(actionFeat, d.fhatBuf, audienceFeat, d.ahatBuf)
+		if err != nil {
+			return Result{}, err
+		}
+		if d.tier != nil {
+			d.tier.Commit(actionFeat, d.fhatBuf, d.ahatBuf, fres.Anomaly)
+		}
+		res = Result{
+			Anomaly: fres.Anomaly,
+			Score:   fres.REIA,
+			Exact:   fres.Exact,
+			Path:    fres.Path.String(),
+		}
 	}
 	if res.Anomaly {
 		d.detected++
@@ -339,7 +438,7 @@ func (d *Detector) Observe(actionFeat, audienceFeat []float64) (Result, error) {
 			AudienceSeq:    copyWindow(d.audWin),
 			ActionTarget:   actionFeat,
 			AudienceTarget: audienceFeat,
-			Index:          sample.Index,
+			Index:          d.observed - 1,
 		}
 		upRes, err := d.upd.Observe(buffered, level)
 		if err != nil {
@@ -394,6 +493,22 @@ func (d *Detector) ObserveBatch(actionFeats, audienceFeats [][]float64, results 
 		return 0, ErrConcurrentObserve
 	}
 	defer d.observing.Store(0)
+
+	// Tier gating is sequential state — each lane's verdict may move the
+	// anchor that gates the next — so tiered batches score serially, lane
+	// by lane. This is trivially bit-identical to n Observe calls (it IS
+	// n Observe bodies) and keeps the prefix-commit error semantics: a
+	// failing lane i returns (i, err) with lanes 0..i-1 fully committed.
+	if d.tier != nil {
+		for i := range actionFeats {
+			res, err := d.observeLocked(actionFeats[i], audienceFeats[i])
+			if err != nil {
+				return i, err
+			}
+			results[i] = res
+		}
+		return len(actionFeats), nil
+	}
 
 	// The maximal prefix of dimension-valid lanes; the first invalid lane
 	// (if any) gets its error after the prefix commits, exactly like a
@@ -691,6 +806,8 @@ type detectorSnapWire struct {
 	Detected    int
 	FilterCfg   ados.Config
 	FilterStats ados.Stats
+	HasTier     bool
+	Tier        ados.TierState
 	HasUpdater  bool
 	Updater     update.State
 }
@@ -726,6 +843,10 @@ func (d *Detector) Snapshot(w io.Writer) error {
 		Detected:    d.detected,
 		FilterCfg:   d.filter.Config(),
 		FilterStats: d.filter.Stats(),
+	}
+	if d.tier != nil {
+		wire.HasTier = true
+		wire.Tier = d.tier.State()
 	}
 	if d.upd != nil {
 		wire.HasUpdater = true
@@ -779,6 +900,18 @@ func RestoreDetector(r io.Reader) (*Detector, error) {
 	}
 	filter.RestoreStats(wire.FilterStats)
 	d.filter = filter
+	if wire.Config.Tiered {
+		tier, err := ados.NewTierPlan(wire.Config.tierConfig(), wire.Config.ActionDim, wire.Config.AudienceDim)
+		if err != nil {
+			return nil, fmt.Errorf("aovlis: restoring tier gate: %w", err)
+		}
+		if err := tier.SetState(wire.Tier); err != nil {
+			return nil, fmt.Errorf("aovlis: restoring tier gate: %w", err)
+		}
+		d.tier = tier
+	}
+	// Runtime inference mode is config-owned, not snapshot-owned: re-apply.
+	d.model.SetFastMath(d.cfg.FastMath)
 	if wire.HasUpdater {
 		upd, err := update.New(model, d.cfg.Update)
 		if err != nil {
@@ -813,6 +946,9 @@ func (w *detectorSnapWire) validate() error {
 	}
 	if w.Observed < 0 || w.Detected < 0 {
 		return fmt.Errorf("aovlis: snapshot counters negative (%d observed, %d detected)", w.Observed, w.Detected)
+	}
+	if w.HasTier != w.Config.Tiered {
+		return fmt.Errorf("aovlis: snapshot tier state (%v) disagrees with Config.Tiered (%v)", w.HasTier, w.Config.Tiered)
 	}
 	if w.HasUpdater && !w.Config.EnableUpdate {
 		return fmt.Errorf("aovlis: snapshot carries updater state but EnableUpdate is off")

@@ -18,6 +18,7 @@ package aovlis
 import (
 	"testing"
 
+	"aovlis/internal/ados"
 	"aovlis/internal/core"
 	"aovlis/internal/dataset"
 	"aovlis/internal/experiments"
@@ -107,7 +108,7 @@ func BenchmarkAblationADGGroups(b *testing.B) { runExperiment(b, experiments.Abl
 
 // --- public-API hot path ---
 
-func benchmarkDetector(b *testing.B, useADOS bool) {
+func benchmarkDetector(b *testing.B, useADOS bool, mutate ...func(*Config)) {
 	dcfg := dataset.DefaultConfig(synth.INF())
 	dcfg.TrainSec, dcfg.TestSec = 240, 240
 	dcfg.Classes = 48
@@ -119,9 +120,20 @@ func benchmarkDetector(b *testing.B, useADOS bool) {
 	cfg := DefaultConfig(48, dcfg.Audience.Dim())
 	cfg.Epochs = 4
 	cfg.UseADOS = useADOS
+	for _, m := range mutate {
+		m(&cfg)
+	}
 	det, err := Train(ds.TrainActions, ds.TrainAudience, cfg)
 	if err != nil {
 		b.Fatal(err)
+	}
+	if cfg.Tiered {
+		// Widen τ above the 4-epoch model's reconstruction error so the
+		// proxy bound can clear segments (same calibration as the tiered
+		// soak fixture; see BenchmarkDetectorObserveTiered).
+		if err := det.SetTau(5 * det.Tau()); err != nil {
+			b.Fatal(err)
+		}
 	}
 	// Warm the window.
 	for i := 0; i < cfg.SeqLen; i++ {
@@ -138,6 +150,10 @@ func benchmarkDetector(b *testing.B, useADOS bool) {
 			b.Fatal(err)
 		}
 	}
+	b.StopTimer()
+	if ts := det.TierStats(); ts.Gated > 0 {
+		b.ReportMetric(float64(ts.Skipped)/float64(ts.Gated), "tierskip/op")
+	}
 }
 
 // BenchmarkDetectorObserveADOS measures the per-segment detection cost with
@@ -147,6 +163,30 @@ func BenchmarkDetectorObserveADOS(b *testing.B) { benchmarkDetector(b, true) }
 // BenchmarkDetectorObserveExact measures the per-segment cost with the
 // exact REIA computed for every segment (no bounds).
 func BenchmarkDetectorObserveExact(b *testing.B) { benchmarkDetector(b, false) }
+
+// BenchmarkDetectorObserveFastMath is the ADOS configuration scored with
+// the polynomial SIMD exp/tanh gate kernels (ISSUE 6): identical GEMV
+// work, transcendental evaluation off the libm scalar ceiling.
+func BenchmarkDetectorObserveFastMath(b *testing.B) {
+	benchmarkDetector(b, true, func(cfg *Config) { cfg.FastMath = true })
+}
+
+// BenchmarkDetectorObserveTiered is the full ISSUE 6 operating point:
+// fast-math kernels plus the bound-gated tier skip, so segments the
+// anchor bound clears never run the LSTM at all. The gate here is the
+// lax calibration (wide drift bound, full margin) with a widened τ — the
+// 4-epoch bench model reconstructs too loosely for the proxy bound to
+// clear the strict 0.95-quantile threshold, exactly like the tiered soak
+// fixture. The tierskip/op metric reports the realised skip fraction;
+// the flip-rate cost of skipping is pinned by TestTieredVerdictFlipRate.
+func BenchmarkDetectorObserveTiered(b *testing.B) {
+	benchmarkDetector(b, true, func(cfg *Config) {
+		cfg.FastMath = true
+		cfg.Tiered = true
+		cfg.Tier = ados.TierConfig{DriftMax: 0.6, Margin: 1, MaxRun: 8}
+		cfg.TauQuantile = 1
+	})
+}
 
 // BenchmarkObserveAllocs measures the steady-state per-segment allocation
 // profile of Detector.Observe on a small fixture (read the allocs/op and

@@ -77,6 +77,8 @@ type options struct {
 	epochs        int
 	seed          int64
 	loadPath      string
+	fastMath      bool
+	tiered        bool
 	shards        int
 	queueDepth    int
 	batch         int
@@ -96,6 +98,8 @@ func main() {
 	flag.IntVar(&o.epochs, "epochs", 10, "training epochs")
 	flag.Int64Var(&o.seed, "seed", 1, "random seed")
 	flag.StringVar(&o.loadPath, "load", "", "load a saved detector instead of training")
+	flag.BoolVar(&o.fastMath, "fastmath", false, "score with the polynomial SIMD exp/tanh gate kernels (a few ULP off the exact kernels; see ARCHITECTURE.md §11)")
+	flag.BoolVar(&o.tiered, "tiered", false, "enable bound-gated tier skipping: segments the anchor bound clears as normal skip the LSTM predict entirely (one-sided; flip rate pinned by the root test harness)")
 	flag.IntVar(&o.shards, "shards", 4, "detector pool shards (worker goroutines)")
 	flag.IntVar(&o.queueDepth, "queue", 256, "per-shard ingest queue depth")
 	flag.IntVar(&o.batch, "batch", 16, "micro-batching drain cap: segments a shard worker scores per wake-up through the batched inference path (0 or 1 disables; scores are bit-identical either way)")
@@ -144,7 +148,7 @@ func run(o options) error {
 	if o.snapshotEvery < 0 || (o.snapshotEvery > 0 && o.snapshotDir == "") {
 		return fmt.Errorf("-snapshot-every needs -snapshot-dir and a non-negative interval")
 	}
-	template, err := buildTemplate(o.presetName, o.trainSec, o.classes, o.epochs, o.seed, o.loadPath)
+	template, err := buildTemplate(o)
 	if err != nil {
 		return err
 	}
@@ -223,10 +227,12 @@ func (d *daemon) snapshotLoop(ctx context.Context, every time.Duration) {
 }
 
 // buildTemplate trains a detector on a normal synthetic stream or loads a
-// saved one; its clones serve the channels.
-func buildTemplate(presetName string, trainSec, classes, epochs int, seed int64, loadPath string) (*aovlis.Detector, error) {
-	if loadPath != "" {
-		f, err := os.Open(loadPath)
+// saved one; its clones serve the channels. -fastmath/-tiered select the
+// scoring mode in both cases (on a loaded detector they override the mode
+// it was saved with; clones inherit the override).
+func buildTemplate(o options) (*aovlis.Detector, error) {
+	if o.loadPath != "" {
+		f, err := os.Open(o.loadPath)
 		if err != nil {
 			return nil, err
 		}
@@ -235,31 +241,52 @@ func buildTemplate(presetName string, trainSec, classes, epochs int, seed int64,
 		if err != nil {
 			return nil, err
 		}
-		fmt.Printf("loaded detector from %s (τ = %.4f)\n", loadPath, det.Tau())
+		if o.fastMath || o.tiered {
+			if err := det.SetScoringMode(o.fastMath, o.tiered); err != nil {
+				return nil, err
+			}
+		}
+		fmt.Printf("loaded detector from %s (τ = %.4f%s)\n", o.loadPath, det.Tau(), scoringSuffix(o))
 		return det, nil
 	}
-	preset, err := synth.PresetByName(presetName)
+	preset, err := synth.PresetByName(o.presetName)
 	if err != nil {
 		return nil, err
 	}
 	dcfg := dataset.DefaultConfig(preset)
-	dcfg.TrainSec, dcfg.TestSec = trainSec, 64 // the test stream is unused here
-	dcfg.Classes = classes
-	dcfg.Seed = seed
-	fmt.Printf("training on a %ds normal %s stream...\n", trainSec, preset.Name)
+	dcfg.TrainSec, dcfg.TestSec = o.trainSec, 64 // the test stream is unused here
+	dcfg.Classes = o.classes
+	dcfg.Seed = o.seed
+	fmt.Printf("training on a %ds normal %s stream...\n", o.trainSec, preset.Name)
 	ds, err := dataset.Build(dcfg)
 	if err != nil {
 		return nil, err
 	}
-	cfg := aovlis.DefaultConfig(classes, dcfg.Audience.Dim())
-	cfg.Epochs = epochs
-	cfg.Seed = seed
+	cfg := aovlis.DefaultConfig(o.classes, dcfg.Audience.Dim())
+	cfg.Epochs = o.epochs
+	cfg.Seed = o.seed
+	cfg.FastMath = o.fastMath
+	cfg.Tiered = o.tiered
 	det, err := aovlis.Train(ds.TrainActions, ds.TrainAudience, cfg)
 	if err != nil {
 		return nil, err
 	}
-	fmt.Printf("trained: %d parameters, τ = %.4f\n", det.Model().NumParams(), det.Tau())
+	fmt.Printf("trained: %d parameters, τ = %.4f%s\n", det.Model().NumParams(), det.Tau(), scoringSuffix(o))
 	return det, nil
+}
+
+// scoringSuffix renders the non-default scoring mode for boot logging.
+func scoringSuffix(o options) string {
+	switch {
+	case o.fastMath && o.tiered:
+		return ", fastmath+tiered scoring"
+	case o.fastMath:
+		return ", fastmath scoring"
+	case o.tiered:
+		return ", tiered scoring"
+	default:
+		return ""
+	}
 }
 
 // daemon is the HTTP front of the pool.

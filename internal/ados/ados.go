@@ -121,6 +121,9 @@ const (
 	// PathREAOnly: decided by the audience error alone (T_a ≤ 0: the REA
 	// term already exceeds τ, or ω = 0).
 	PathREAOnly
+	// PathTierSkip: cleared as normal by the TierPlan's anchor bound
+	// before the LSTM predict ran (tiered scoring, ISSUE 6).
+	PathTierSkip
 )
 
 // String names the deciding layer.
@@ -136,6 +139,8 @@ func (p Path) String() string {
 		return "exact"
 	case PathREAOnly:
 		return "REA-only"
+	case PathTierSkip:
+		return "tier-skip"
 	default:
 		return fmt.Sprintf("Path(%d)", int(p))
 	}

@@ -21,6 +21,7 @@ package core
 import (
 	"fmt"
 
+	"aovlis/internal/mat"
 	"aovlis/internal/nn"
 )
 
@@ -73,6 +74,10 @@ func compileInferPlan(ps *nn.ParamSet, seqLen int, specs []planSpec) *InferPlan 
 		st := &p.streams[i]
 		st.srcCell, st.srcDec, st.ctx = sp.cell, sp.dec, sp.ctx
 		st.cell = sp.cell.Pack(ps)
+		// AOVLIS_FASTMATH=1 forces every freshly compiled plan onto the
+		// fast-math kernels (the CI fast-math pass); owners with a
+		// FastMath config OR into this via SetFastMath.
+		st.cell.FastMath = mat.FastMathForced()
 		st.dec = sp.dec.Pack(ps)
 		hn := sp.cell.Hidden
 		st.h = make([]float64, hn)
@@ -88,6 +93,23 @@ func compileInferPlan(ps *nn.ParamSet, seqLen int, specs []planSpec) *InferPlan 
 
 // Version returns the parameter version the plan was packed at.
 func (p *InferPlan) Version() uint64 { return p.version }
+
+// SetFastMath switches every packed cell between the bit-exact gate
+// kernel (the default and the reference) and the polynomial fast-math
+// kernel. It is a runtime mode, not an architecture property: repacking
+// keeps it, snapshots don't carry it (owners re-apply from their config),
+// and BatchInferPlan inherits it automatically because batch runs drive
+// the same shared FusedCells.
+func (p *InferPlan) SetFastMath(on bool) {
+	for i := range p.streams {
+		p.streams[i].cell.FastMath = on
+	}
+}
+
+// FastMath reports whether the fast-math gate kernel is active.
+func (p *InferPlan) FastMath() bool {
+	return len(p.streams) > 0 && p.streams[0].cell.FastMath
+}
 
 // Repack refreshes the packed weights from ps in place, without
 // allocating, and records the new version. Owners call it whenever

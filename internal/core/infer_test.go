@@ -94,6 +94,9 @@ func comparePredictions(t *testing.T, m *Model, samples []Sample, phase string) 
 // after initial training and after each online-update mutation path
 // (Adam steps, merge-average, copy-replace) repacks the plan.
 func TestInferPlanGoldenEquivalence(t *testing.T) {
+	if mat.FastMathForced() {
+		t.Skip("AOVLIS_FASTMATH forces the polynomial gate kernel; tape-vs-plan bit equivalence only holds for the exact kernel")
+	}
 	actions, audience := goldenSeries(60, 12, 5, 41)
 	for _, coupling := range []Coupling{CouplingFull, CouplingOneWay, CouplingNone} {
 		t.Run(coupling.String(), func(t *testing.T) {
@@ -162,6 +165,9 @@ func TestInferPlanGoldenEquivalence(t *testing.T) {
 // TestInferPlanGoldenEquivalenceMulti extends the golden property to the
 // K-stream MultiModel.
 func TestInferPlanGoldenEquivalenceMulti(t *testing.T) {
+	if mat.FastMathForced() {
+		t.Skip("AOVLIS_FASTMATH forces the polynomial gate kernel; tape-vs-plan bit equivalence only holds for the exact kernel")
+	}
 	cfg := MultiConfig{
 		Streams: []StreamSpec{
 			{Name: "action", InputDim: 8, Hidden: 6, Simplex: true, Weight: 0.6},

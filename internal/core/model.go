@@ -101,6 +101,20 @@ func (m *Model) begin() (*ad.Tape, *nn.Binding) {
 // Config returns the model configuration.
 func (m *Model) Config() Config { return m.cfg }
 
+// SetFastMath switches the compiled inference plan between the bit-exact
+// gate kernel and the polynomial fast-math kernel (see mat.FastExp). A
+// runtime scoring mode, not part of Config: snapshots don't carry it and
+// owners (the Detector) re-apply it from their own configuration after
+// load. AOVLIS_FASTMATH=1 forces it on regardless. The tape paths —
+// training, Hidden, the golden-reference predictTapeInto — always stay
+// exact.
+func (m *Model) SetFastMath(on bool) {
+	m.plan.SetFastMath(on || mat.FastMathForced())
+}
+
+// FastMath reports whether the fast-math gate kernel is active.
+func (m *Model) FastMath() bool { return m.plan.FastMath() }
+
 // NumParams returns the number of scalar parameters (the paper reports
 // 1,382,713 for its full-scale configuration).
 func (m *Model) NumParams() int { return m.ps.NumParams() }

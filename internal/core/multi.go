@@ -156,6 +156,15 @@ func (m *MultiModel) begin() (*ad.Tape, *nn.Binding) {
 // Config returns the configuration.
 func (m *MultiModel) Config() MultiConfig { return m.cfg }
 
+// SetFastMath switches the compiled inference plan between the bit-exact
+// and fast-math gate kernels (same contract as Model.SetFastMath).
+func (m *MultiModel) SetFastMath(on bool) {
+	m.plan.SetFastMath(on || mat.FastMathForced())
+}
+
+// FastMath reports whether the fast-math gate kernel is active.
+func (m *MultiModel) FastMath() bool { return m.plan.FastMath() }
+
 // NumParams returns the scalar parameter count.
 func (m *MultiModel) NumParams() int { return m.ps.NumParams() }
 

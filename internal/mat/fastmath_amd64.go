@@ -1,0 +1,64 @@
+//go:build amd64
+
+package mat
+
+// SIMD dispatch for the fast-math transcendental kernels (see
+// fastmath_amd64.s). The kernels ride simdGEMMLevel — the same CPUID
+// detection and AOVLIS_NOSIMD escape hatch as the forward GEMM — and are
+// bit-identical to the portable scalar forms in fastmath.go on every
+// input (same reduction, same Horner order, no FMA; pinned by
+// TestFastMathPortableSIMDBitIdentical).
+
+//go:noescape
+func fastExpNegAVX512(v *float64, n int)
+
+//go:noescape
+func fastExpNegAVX2(v *float64, n int)
+
+//go:noescape
+func fastTanhAVX512(dst, src *float64, n int)
+
+//go:noescape
+func fastTanhAVX2(dst, src *float64, n int)
+
+// simdFastExpNegInto runs the vectorised in-place FastExp(−v) over as much
+// of v as the active vector width covers and returns how many elements it
+// handled; the caller finishes the tail with the scalar form.
+func simdFastExpNegInto(v []float64) int {
+	switch simdGEMMLevel {
+	case 3:
+		nv := len(v) &^ 7
+		if nv > 0 {
+			fastExpNegAVX512(&v[0], nv)
+		}
+		return nv
+	case 2:
+		nv := len(v) &^ 3
+		if nv > 0 {
+			fastExpNegAVX2(&v[0], nv)
+		}
+		return nv
+	}
+	return 0
+}
+
+// simdFastTanhInto runs the vectorised FastTanh over as much of src as the
+// active vector width covers, writing dst, and returns how many elements
+// it handled. dst and src may alias (the kernels load before they store).
+func simdFastTanhInto(dst, src []float64) int {
+	switch simdGEMMLevel {
+	case 3:
+		nv := len(src) &^ 7
+		if nv > 0 {
+			fastTanhAVX512(&dst[0], &src[0], nv)
+		}
+		return nv
+	case 2:
+		nv := len(src) &^ 3
+		if nv > 0 {
+			fastTanhAVX2(&dst[0], &src[0], nv)
+		}
+		return nv
+	}
+	return 0
+}

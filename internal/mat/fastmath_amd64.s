@@ -1,0 +1,308 @@
+//go:build amd64
+
+#include "textflag.h"
+
+// Fast-math transcendental kernels (see fastmath.go for the algorithm and
+// the bit-identity contract with the portable scalar forms). Every kernel
+// keeps multiply and add separate — no FMA — so each operation rounds
+// exactly like its scalar twin. Constants live as 8-byte RODATA entries,
+// broadcast at use; TestFastMathConstants pins these bit patterns to the
+// Go-side values.
+//
+// The AVX-512 kernels stay inside AVX512F (the only extension
+// detectGEMMLevel checks): blends are VCMPPD→K + merge-masked VMOVAPD and
+// bitwise ops use the integer forms (VPXORQ/VPANDQ) since the packed-FP
+// bitwise ops on ZMM need AVX512DQ.
+
+DATA fmLog2E<>+0(SB)/8, $0x3FF71547652B82FE
+GLOBL fmLog2E<>(SB), RODATA|NOPTR, $8
+DATA fmMagic<>+0(SB)/8, $0x4338000000000000
+GLOBL fmMagic<>(SB), RODATA|NOPTR, $8
+DATA fmLn2Hi<>+0(SB)/8, $0x3FE62E42FEE00000
+GLOBL fmLn2Hi<>(SB), RODATA|NOPTR, $8
+DATA fmLn2Lo<>+0(SB)/8, $0x3DEA39EF35793C76
+GLOBL fmLn2Lo<>(SB), RODATA|NOPTR, $8
+DATA fmExpHi<>+0(SB)/8, $0x40862E42FEFA39EF
+GLOBL fmExpHi<>(SB), RODATA|NOPTR, $8
+DATA fmExpLo<>+0(SB)/8, $0xC086232BDD7ABCD2
+GLOBL fmExpLo<>(SB), RODATA|NOPTR, $8
+DATA fmFOne<>+0(SB)/8, $0x3FF0000000000000
+GLOBL fmFOne<>(SB), RODATA|NOPTR, $8
+DATA fmFTwo<>+0(SB)/8, $0x4000000000000000
+GLOBL fmFTwo<>(SB), RODATA|NOPTR, $8
+DATA fmNegTwo<>+0(SB)/8, $0xC000000000000000
+GLOBL fmNegTwo<>(SB), RODATA|NOPTR, $8
+DATA fmTwenty<>+0(SB)/8, $0x4034000000000000
+GLOBL fmTwenty<>(SB), RODATA|NOPTR, $8
+DATA fmPInf<>+0(SB)/8, $0x7FF0000000000000
+GLOBL fmPInf<>(SB), RODATA|NOPTR, $8
+DATA fmAbs<>+0(SB)/8, $0x7FFFFFFFFFFFFFFF
+GLOBL fmAbs<>(SB), RODATA|NOPTR, $8
+DATA fmSign<>+0(SB)/8, $0x8000000000000000
+GLOBL fmSign<>(SB), RODATA|NOPTR, $8
+DATA fmC2<>+0(SB)/8, $0x3FE0000000000000
+GLOBL fmC2<>(SB), RODATA|NOPTR, $8
+DATA fmC3<>+0(SB)/8, $0x3FC5555555555555
+GLOBL fmC3<>(SB), RODATA|NOPTR, $8
+DATA fmC4<>+0(SB)/8, $0x3FA5555555555555
+GLOBL fmC4<>(SB), RODATA|NOPTR, $8
+DATA fmC5<>+0(SB)/8, $0x3F81111111111111
+GLOBL fmC5<>(SB), RODATA|NOPTR, $8
+DATA fmC6<>+0(SB)/8, $0x3F56C16C16C16C17
+GLOBL fmC6<>(SB), RODATA|NOPTR, $8
+DATA fmC7<>+0(SB)/8, $0x3F2A01A01A01A01A
+GLOBL fmC7<>(SB), RODATA|NOPTR, $8
+DATA fmC8<>+0(SB)/8, $0x3EFA01A01A01A01A
+GLOBL fmC8<>(SB), RODATA|NOPTR, $8
+DATA fmC9<>+0(SB)/8, $0x3EC71DE3A556C734
+GLOBL fmC9<>(SB), RODATA|NOPTR, $8
+DATA fmC10<>+0(SB)/8, $0x3E927E4FB7789F5C
+GLOBL fmC10<>(SB), RODATA|NOPTR, $8
+DATA fmC11<>+0(SB)/8, $0x3E5AE64567F544E4
+GLOBL fmC11<>(SB), RODATA|NOPTR, $8
+DATA fmC12<>+0(SB)/8, $0x3E21EED8EFF8D898
+GLOBL fmC12<>(SB), RODATA|NOPTR, $8
+DATA fmC13<>+0(SB)/8, $0x3DE6124613A86D09
+GLOBL fmC13<>(SB), RODATA|NOPTR, $8
+DATA fmQ2048<>+0(SB)/8, $2048
+GLOBL fmQ2048<>(SB), RODATA|NOPTR, $8
+DATA fmQ1024<>+0(SB)/8, $1024
+GLOBL fmQ1024<>(SB), RODATA|NOPTR, $8
+DATA fmQ1023<>+0(SB)/8, $1023
+GLOBL fmQ1023<>(SB), RODATA|NOPTR, $8
+
+// One Horner step T = T·r + c (separate mul and add, one rounding each).
+#define HORNER(R, T, TMP, c) \
+	VMULPD R, T, T; VBROADCASTSD c<>(SB), TMP; VADDPD TMP, T, T
+
+// EXPCORE: the shared Cody–Waite reduction + degree-13 Taylor polynomial
+// (fastExpCore in fastmath.go). Input X is preserved. Outputs: KD = k as
+// float64, KI = k as int64 lanes, Q = e^r − 1 candidate. R/RR/T1/T2 are
+// clobbered temporaries; all eight registers must be distinct. Works for
+// both Y and Z registers (every instruction is AVX2- and AVX512F-legal).
+#define EXPCORE(X, KD, KI, Q, R, RR, T1, T2) \
+	VBROADCASTSD fmLog2E<>(SB), T1;          \
+	VMULPD X, T1, T1;                        \
+	VBROADCASTSD fmMagic<>(SB), T2;          \
+	VADDPD T2, T1, T1;                       \
+	VSUBPD T2, T1, KD;                       \
+	VPSUBQ T2, T1, KI;                       \
+	VBROADCASTSD fmLn2Hi<>(SB), R;           \
+	VMULPD R, KD, R;                         \
+	VSUBPD R, X, R;                          \
+	VBROADCASTSD fmLn2Lo<>(SB), T1;          \
+	VMULPD T1, KD, T1;                       \
+	VSUBPD T1, R, R;                         \
+	VMULPD R, R, RR;                         \
+	VBROADCASTSD fmC13<>(SB), Q;             \
+	HORNER(R, Q, T1, fmC12);                 \
+	HORNER(R, Q, T1, fmC11);                 \
+	HORNER(R, Q, T1, fmC10);                 \
+	HORNER(R, Q, T1, fmC9);                  \
+	HORNER(R, Q, T1, fmC8);                  \
+	HORNER(R, Q, T1, fmC7);                  \
+	HORNER(R, Q, T1, fmC6);                  \
+	HORNER(R, Q, T1, fmC5);                  \
+	HORNER(R, Q, T1, fmC4);                  \
+	HORNER(R, Q, T1, fmC3);                  \
+	HORNER(R, Q, T1, fmC2);                  \
+	VMULPD RR, Q, Q;                         \
+	VADDPD R, Q, Q
+
+// EXPSCALE: two-half 2^KI rescale res = p·2^k1·2^k2 with p in PQ
+// (overwritten with the result). The +2048 bias keeps the lane positive so
+// the logical VPSRLQ halves correctly; k1+k2 = ki exactly.
+#define EXPSCALE(PQ, KI, T1, T2) \
+	VPBROADCASTQ fmQ2048<>(SB), T1;  \
+	VPADDQ T1, KI, T1;               \
+	VPSRLQ $1, T1, T1;               \
+	VPBROADCASTQ fmQ1024<>(SB), T2;  \
+	VPSUBQ T2, T1, T1;               \
+	VPSUBQ T1, KI, KI;               \
+	VPBROADCASTQ fmQ1023<>(SB), T2;  \
+	VPADDQ T2, T1, T1;               \
+	VPSLLQ $52, T1, T1;              \
+	VPADDQ T2, KI, KI;               \
+	VPSLLQ $52, KI, KI;              \
+	VMULPD T1, PQ, PQ;               \
+	VMULPD KI, PQ, PQ
+
+// func fastExpNegAVX2(v *float64, n int)
+// In-place v[i] = FastExp(-v[i]); n is a multiple of 4.
+TEXT ·fastExpNegAVX2(SB), NOSPLIT, $0-16
+	MOVQ v+0(FP), AX
+	MOVQ n+8(FP), CX
+	SHRQ $2, CX
+	JZ   fe2done
+
+fe2loop:
+	VMOVUPD      (AX), Y0
+	VBROADCASTSD fmSign<>(SB), Y1
+	VXORPD       Y1, Y0, Y0 // x = -v
+
+	EXPCORE(Y0, Y3, Y4, Y7, Y5, Y6, Y1, Y2)
+
+	VBROADCASTSD fmFOne<>(SB), Y8
+	VADDPD       Y8, Y7, Y7 // p = 1 + q
+
+	EXPSCALE(Y7, Y4, Y8, Y9)
+
+	// Saturate on the ORIGINAL x: overflow → +Inf, underflow → 0, NaN
+	// lanes fail both compares and keep the propagated NaN.
+	VBROADCASTSD fmExpHi<>(SB), Y8
+	VCMPPD       $30, Y8, Y0, Y8 // GT_OQ: x > expHi
+	VBROADCASTSD fmPInf<>(SB), Y9
+	VBLENDVPD    Y8, Y9, Y7, Y7
+	VBROADCASTSD fmExpLo<>(SB), Y8
+	VCMPPD       $17, Y8, Y0, Y8 // LT_OQ: x < expLo
+	VXORPD       Y9, Y9, Y9
+	VBLENDVPD    Y8, Y9, Y7, Y7
+
+	VMOVUPD Y7, (AX)
+	ADDQ    $32, AX
+	DECQ    CX
+	JNZ     fe2loop
+
+fe2done:
+	VZEROUPPER
+	RET
+
+// func fastExpNegAVX512(v *float64, n int)
+// In-place v[i] = FastExp(-v[i]); n is a multiple of 8.
+TEXT ·fastExpNegAVX512(SB), NOSPLIT, $0-16
+	MOVQ v+0(FP), AX
+	MOVQ n+8(FP), CX
+	SHRQ $3, CX
+	JZ   fe5done
+
+fe5loop:
+	VMOVUPD      (AX), Z0
+	VBROADCASTSD fmSign<>(SB), Z1
+	VPXORQ       Z1, Z0, Z0 // x = -v
+
+	EXPCORE(Z0, Z3, Z4, Z7, Z5, Z6, Z1, Z2)
+
+	VBROADCASTSD fmFOne<>(SB), Z8
+	VADDPD       Z8, Z7, Z7 // p = 1 + q
+
+	EXPSCALE(Z7, Z4, Z8, Z9)
+
+	VBROADCASTSD fmExpHi<>(SB), Z8
+	VCMPPD       $30, Z8, Z0, K1 // GT_OQ: x > expHi
+	VBROADCASTSD fmPInf<>(SB), Z9
+	VMOVAPD      Z9, K1, Z7
+	VBROADCASTSD fmExpLo<>(SB), Z8
+	VCMPPD       $17, Z8, Z0, K1 // LT_OQ: x < expLo
+	VPXORQ       Z9, Z9, Z9
+	VMOVAPD      Z9, K1, Z7
+
+	VMOVUPD Z7, (AX)
+	ADDQ    $64, AX
+	DECQ    CX
+	JNZ     fe5loop
+
+fe5done:
+	VZEROUPPER
+	RET
+
+// func fastTanhAVX2(dst, src *float64, n int)
+// dst[i] = FastTanh(src[i]); n is a multiple of 4; dst may alias src.
+TEXT ·fastTanhAVX2(SB), NOSPLIT, $0-24
+	MOVQ dst+0(FP), DI
+	MOVQ src+8(FP), SI
+	MOVQ n+16(FP), CX
+	SHRQ $2, CX
+	JZ   ft2done
+
+ft2loop:
+	VMOVUPD      (SI), Y0
+	VBROADCASTSD fmAbs<>(SB), Y1
+	VANDPD       Y1, Y0, Y1 // ax = |x|
+	VBROADCASTSD fmTwenty<>(SB), Y2
+	VMINPD       Y1, Y2, Y1 // min(20, ax); NaN in src2 passes through
+	VBROADCASTSD fmNegTwo<>(SB), Y2
+	VMULPD       Y2, Y1, Y1 // s = -2·ax
+
+	EXPCORE(Y1, Y3, Y4, Y7, Y5, Y6, Y2, Y8)
+
+	VBROADCASTSD fmFOne<>(SB), Y8
+	VADDPD       Y8, Y7, Y9 // p = 1 + q (q stays in Y7)
+	VPBROADCASTQ fmQ1023<>(SB), Y10
+	VPADDQ       Y10, Y4, Y4
+	VPSLLQ       $52, Y4, Y4 // 2^ki (ki ∈ [-58, 0]: single factor)
+	VMULPD       Y4, Y9, Y9  // E = p·2^ki
+	VSUBPD       Y8, Y9, Y9  // E - 1
+
+	// em = (k == 0) ? q : E−1 — for k = 0 the polynomial q IS expm1.
+	VXORPD    Y10, Y10, Y10
+	VCMPPD    $0, Y10, Y3, Y11 // EQ_OQ: kd == 0
+	VBLENDVPD Y11, Y7, Y9, Y9
+
+	VSUBPD       Y9, Y10, Y11  // num = 0 − em (tanh(±0) = ±0 exactly)
+	VBROADCASTSD fmFTwo<>(SB), Y12
+	VADDPD       Y12, Y9, Y12  // den = 2 + em
+	VDIVPD       Y12, Y11, Y11 // w = num/den
+	VBROADCASTSD fmSign<>(SB), Y12
+	VANDPD       Y12, Y0, Y12
+	VXORPD       Y12, Y11, Y11 // reapply sign of x
+
+	VMOVUPD Y11, (DI)
+	ADDQ    $32, SI
+	ADDQ    $32, DI
+	DECQ    CX
+	JNZ     ft2loop
+
+ft2done:
+	VZEROUPPER
+	RET
+
+// func fastTanhAVX512(dst, src *float64, n int)
+// dst[i] = FastTanh(src[i]); n is a multiple of 8; dst may alias src.
+TEXT ·fastTanhAVX512(SB), NOSPLIT, $0-24
+	MOVQ dst+0(FP), DI
+	MOVQ src+8(FP), SI
+	MOVQ n+16(FP), CX
+	SHRQ $3, CX
+	JZ   ft5done
+
+ft5loop:
+	VMOVUPD      (SI), Z0
+	VBROADCASTSD fmAbs<>(SB), Z1
+	VPANDQ       Z1, Z0, Z1 // ax = |x|
+	VBROADCASTSD fmTwenty<>(SB), Z2
+	VMINPD       Z1, Z2, Z1 // min(20, ax); NaN in src2 passes through
+	VBROADCASTSD fmNegTwo<>(SB), Z2
+	VMULPD       Z2, Z1, Z1 // s = -2·ax
+
+	EXPCORE(Z1, Z3, Z4, Z7, Z5, Z6, Z2, Z8)
+
+	VBROADCASTSD fmFOne<>(SB), Z8
+	VADDPD       Z8, Z7, Z9 // p = 1 + q (q stays in Z7)
+	VPBROADCASTQ fmQ1023<>(SB), Z10
+	VPADDQ       Z10, Z4, Z4
+	VPSLLQ       $52, Z4, Z4 // 2^ki (ki ∈ [-58, 0]: single factor)
+	VMULPD       Z4, Z9, Z9  // E = p·2^ki
+	VSUBPD       Z8, Z9, Z9  // E - 1
+
+	// em = (k == 0) ? q : E−1 — merge q where the compare holds.
+	VPXORQ  Z10, Z10, Z10
+	VCMPPD  $0, Z10, Z3, K1 // EQ_OQ: kd == 0
+	VMOVAPD Z7, K1, Z9
+
+	VSUBPD       Z9, Z10, Z11  // num = 0 − em (tanh(±0) = ±0 exactly)
+	VBROADCASTSD fmFTwo<>(SB), Z12
+	VADDPD       Z12, Z9, Z12  // den = 2 + em
+	VDIVPD       Z12, Z11, Z11 // w = num/den
+	VBROADCASTSD fmSign<>(SB), Z12
+	VPANDQ       Z12, Z0, Z12
+	VPXORQ       Z12, Z11, Z11 // reapply sign of x
+
+	VMOVUPD Z11, (DI)
+	ADDQ    $64, SI
+	ADDQ    $64, DI
+	DECQ    CX
+	JNZ     ft5loop
+
+ft5done:
+	VZEROUPPER
+	RET

@@ -1,0 +1,10 @@
+//go:build !amd64
+
+package mat
+
+// Portable stubs: without the amd64 kernels every fast-math vector call
+// falls through to the scalar loops in fastmath.go.
+
+func simdFastExpNegInto(v []float64) int { return 0 }
+
+func simdFastTanhInto(dst, src []float64) int { return 0 }

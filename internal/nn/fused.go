@@ -47,6 +47,12 @@ type FusedCell struct {
 	W *mat.Matrix
 	// B is the packed 4·Hidden gate bias (same order).
 	B []float64
+	// FastMath selects the polynomial fast-math gate kernel
+	// (mat.LSTMGatesFastInto) instead of the bit-exact one — a runtime
+	// mode set by the plan owner (core.InferPlan.SetFastMath), not part
+	// of the packed parameters: PackInto never touches it, so repacking
+	// after an online update keeps the mode.
+	FastMath bool
 }
 
 // Pack compiles the cell's current parameters in ps into a new FusedCell.
@@ -95,7 +101,11 @@ func (fc *FusedCell) StepInto(h, cNext, pre, ctx, cPrev []float64) {
 		panic(fmt.Sprintf("nn: fused step ctx has %d elements, want %d", len(ctx), fc.CtxDim))
 	}
 	mat.FwdGEMMBiasInto(pre, ctx, 1, fc.W, fc.WT, fc.B)
-	mat.LSTMGatesInto(h, cNext, pre, cPrev)
+	if fc.FastMath {
+		mat.LSTMGatesFastInto(h, cNext, pre, cPrev)
+	} else {
+		mat.LSTMGatesInto(h, cNext, pre, cPrev)
+	}
 }
 
 // StepBatch performs one fused LSTM step over B stacked lanes: row b of
@@ -115,7 +125,11 @@ func (fc *FusedCell) StepBatch(h, cNext, pre, ctx, cPrev *mat.Matrix) {
 			h.Rows, cNext.Rows, pre.Rows, cPrev.Rows, lanes))
 	}
 	mat.FwdGEMMBiasInto(pre.Data, ctx.Data, lanes, fc.W, fc.WT, fc.B)
-	mat.LSTMGatesBatchInto(h, cNext, pre, cPrev)
+	if fc.FastMath {
+		mat.LSTMGatesBatchFastInto(h, cNext, pre, cPrev)
+	} else {
+		mat.LSTMGatesBatchInto(h, cNext, pre, cPrev)
+	}
 }
 
 // FusedDense is the inference-only snapshot of a Dense layer.

@@ -69,6 +69,12 @@ type filterStatser interface {
 	FilterStats() ados.Stats
 }
 
+// tierStatser is implemented by detectors that expose tiered-scoring gate
+// counters (notably *aovlis.Detector with Tiered on).
+type tierStatser interface {
+	TierStats() ados.TierStats
+}
+
 // lifetimeCounter is implemented by detectors that carry stream-lifetime
 // counters across snapshots (notably *aovlis.Detector). Attach seeds the
 // channel's observed/detected counters from it, so a channel restored from
@@ -201,14 +207,16 @@ type channel struct {
 	shard  *shard
 	det    Detector
 	fstats filterStatser // det, when it exposes ADOS counters (else nil)
+	tstats tierStatser   // det, when it exposes tier counters (else nil)
 
-	observed atomic.Uint64 // successfully scored observations
-	warmups  atomic.Uint64 // scored observations still in warm-up
-	detected atomic.Uint64 // anomaly verdicts
-	dropped  atomic.Uint64 // observations shed under DropNewest
-	errors   atomic.Uint64 // detector errors
-	filtered atomic.Uint64 // ADOS decisions made without the exact REIA
-	pending  atomic.Int64  // enqueued but not yet executed
+	observed    atomic.Uint64 // successfully scored observations
+	warmups     atomic.Uint64 // scored observations still in warm-up
+	detected    atomic.Uint64 // anomaly verdicts
+	dropped     atomic.Uint64 // observations shed under DropNewest
+	errors      atomic.Uint64 // detector errors
+	filtered    atomic.Uint64 // ADOS decisions made without the exact REIA
+	tierskipped atomic.Uint64 // segments cleared by the tier gate, no LSTM run
+	pending     atomic.Int64  // enqueued but not yet executed
 
 	batches atomic.Uint64 // scoring rounds executed (batched mode only)
 	batched atomic.Uint64 // observations scored across those rounds
@@ -261,6 +269,9 @@ type ChannelStats struct {
 	// Filtered counts ADOS decisions reached from bounds alone (no exact
 	// REIA computation); zero for detectors without ADOS counters.
 	Filtered uint64 `json:"filtered"`
+	// TierSkipped counts segments the tier gate cleared without running
+	// the LSTM predict at all; zero for untiered detectors.
+	TierSkipped uint64 `json:"tier_skipped,omitempty"`
 	// Dropped counts observations shed under the DropNewest policy.
 	Dropped uint64 `json:"dropped"`
 	// Errors counts detector failures.
@@ -289,6 +300,8 @@ type PoolStats struct {
 	Detected uint64 `json:"detected"`
 	Dropped  uint64 `json:"dropped"`
 	Errors   uint64 `json:"errors"`
+	// TierSkipped sums the channels' tier-gate skip counters.
+	TierSkipped uint64 `json:"tier_skipped,omitempty"`
 	// Batches/Batched sum the channels' micro-batching counters;
 	// BatchOccupancy is the pool-wide mean batch size (0 with batching
 	// off).
@@ -350,8 +363,8 @@ func (p *DetectorPool) runShard(s *shard) {
 			j.ch.pending.Add(-1)
 			res, err := j.ch.det.Observe(j.action, j.audience)
 			p.finishJob(j.ch, &j, res, err)
-			if j.ch.fstats != nil && err == nil {
-				j.ch.filtered.Store(uint64(j.ch.fstats.FilterStats().FilteredTotal()))
+			if err == nil {
+				p.refreshFiltered(j.ch)
 			}
 		}
 		return
@@ -504,10 +517,13 @@ func (p *DetectorPool) finishJob(ch *channel, j *job, res aovlis.Result, err err
 	j.out <- Outcome{Result: res, Err: err}
 }
 
-// refreshFiltered re-reads the detector's ADOS filter gauge.
+// refreshFiltered re-reads the detector's ADOS filter and tier gauges.
 func (p *DetectorPool) refreshFiltered(ch *channel) {
 	if ch.fstats != nil {
 		ch.filtered.Store(uint64(ch.fstats.FilterStats().FilteredTotal()))
+	}
+	if ch.tstats != nil {
+		ch.tierskipped.Store(uint64(ch.tstats.TierStats().Skipped))
 	}
 }
 
@@ -554,7 +570,8 @@ func (p *DetectorPool) Attach(id string, det Detector) error {
 		return fmt.Errorf("%w: %q", ErrChannelExists, id)
 	}
 	fs, _ := det.(filterStatser)
-	ch := &channel{id: id, shard: p.shardFor(id), det: det, fstats: fs}
+	ts, _ := det.(tierStatser)
+	ch := &channel{id: id, shard: p.shardFor(id), det: det, fstats: fs, tstats: ts}
 	if lc, ok := det.(lifetimeCounter); ok {
 		if n := lc.Observed(); n > 0 {
 			ch.observed.Store(uint64(n))
@@ -566,6 +583,11 @@ func (p *DetectorPool) Attach(id string, det Detector) error {
 	if fs != nil {
 		if n := fs.FilterStats().FilteredTotal(); n > 0 {
 			ch.filtered.Store(uint64(n))
+		}
+	}
+	if ts != nil {
+		if n := ts.TierStats().Skipped; n > 0 {
+			ch.tierskipped.Store(uint64(n))
 		}
 	}
 	p.publish(func(m map[string]*channel) { m[id] = ch })
@@ -688,17 +710,18 @@ func (p *DetectorPool) Stats(id string) (ChannelStats, error) {
 // the set is eventually consistent while the shard works).
 func (c *channel) snapshot() ChannelStats {
 	st := ChannelStats{
-		Channel:    c.id,
-		Shard:      c.shard.index,
-		Observed:   c.observed.Load(),
-		Warmups:    c.warmups.Load(),
-		Detected:   c.detected.Load(),
-		Filtered:   c.filtered.Load(),
-		Dropped:    c.dropped.Load(),
-		Errors:     c.errors.Load(),
-		QueueDepth: c.pending.Load(),
-		Batches:    c.batches.Load(),
-		Batched:    c.batched.Load(),
+		Channel:     c.id,
+		Shard:       c.shard.index,
+		Observed:    c.observed.Load(),
+		Warmups:     c.warmups.Load(),
+		Detected:    c.detected.Load(),
+		Filtered:    c.filtered.Load(),
+		TierSkipped: c.tierskipped.Load(),
+		Dropped:     c.dropped.Load(),
+		Errors:      c.errors.Load(),
+		QueueDepth:  c.pending.Load(),
+		Batches:     c.batches.Load(),
+		Batched:     c.batched.Load(),
 	}
 	if st.Batches > 0 {
 		st.BatchOccupancy = float64(st.Batched) / float64(st.Batches)
@@ -729,6 +752,7 @@ func (p *DetectorPool) PoolStats() PoolStats {
 		st.Detected += cs.Detected
 		st.Dropped += cs.Dropped
 		st.Errors += cs.Errors
+		st.TierSkipped += cs.TierSkipped
 		st.Batches += cs.Batches
 		st.Batched += cs.Batched
 	}

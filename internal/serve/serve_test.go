@@ -153,12 +153,17 @@ func TestPoolConcurrentChannels(t *testing.T) {
 }
 
 // trainTemplate trains one small real detector for integration tests.
-func trainTemplate(t testing.TB) *aovlis.Detector {
+// Optional mutators adjust the configuration before training (the tiered
+// soak uses one to enable the approximate scoring modes).
+func trainTemplate(t testing.TB, mutate ...func(*aovlis.Config)) *aovlis.Detector {
 	t.Helper()
 	cfg := aovlis.DefaultConfig(16, 6)
 	cfg.HiddenI, cfg.HiddenA = 12, 8
 	cfg.SeqLen = 4
 	cfg.Epochs = 4
+	for _, m := range mutate {
+		m(&cfg)
+	}
 	rng := rand.New(rand.NewSource(7))
 	var actions, audience [][]float64
 	for i := 0; i < 90; i++ {

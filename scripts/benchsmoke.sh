@@ -1,36 +1,38 @@
 #!/usr/bin/env sh
-# benchsmoke.sh — enforce the recorded Observe latency baseline.
+# benchsmoke.sh — enforce a recorded Observe latency baseline.
 #
-# Usage: benchsmoke.sh <bench-output.txt> [BENCH.md]
+# Usage: benchsmoke.sh <bench-output.txt> [BENCH.md] [BenchmarkName]
 #
 # Reads the machine-readable baseline marker in BENCH.md
-# (`<!-- bench-baseline: BenchmarkDetectorObserveADOS ns/op=NNN -->`),
-# takes the median BenchmarkDetectorObserveADOS ns/op across the -count
-# repetitions in the benchmark output, and fails when the median exceeds
-# the baseline by more than 25%. CI's bench-smoke job runs this on every
-# push; the raw output is uploaded as a workflow artifact either way.
+# (`<!-- bench-baseline: <BenchmarkName> ns/op=NNN -->`), takes the median
+# <BenchmarkName> ns/op across the -count repetitions in the benchmark
+# output, and fails when the median exceeds the baseline by more than 25%.
+# The benchmark name defaults to BenchmarkDetectorObserveADOS; CI's
+# bench-smoke job also runs the BenchmarkDetectorObserveTiered gate. The
+# raw output is uploaded as a workflow artifact either way.
 set -eu
 
-OUT=${1:?usage: benchsmoke.sh bench-output.txt [BENCH.md]}
+OUT=${1:?usage: benchsmoke.sh bench-output.txt [BENCH.md] [BenchmarkName]}
 BENCH_MD=${2:-BENCH.md}
+NAME=${3:-BenchmarkDetectorObserveADOS}
 
-BASE=$(sed -n 's/.*bench-baseline: BenchmarkDetectorObserveADOS ns\/op=\([0-9][0-9]*\).*/\1/p' "$BENCH_MD" | head -n1)
+BASE=$(sed -n "s/.*bench-baseline: $NAME ns\\/op=\\([0-9][0-9]*\\).*/\\1/p" "$BENCH_MD" | head -n1)
 if [ -z "$BASE" ]; then
-    echo "benchsmoke: no bench-baseline marker for BenchmarkDetectorObserveADOS in $BENCH_MD" >&2
+    echo "benchsmoke: no bench-baseline marker for $NAME in $BENCH_MD" >&2
     exit 1
 fi
 
-MEDIAN=$(awk '$1 ~ /^BenchmarkDetectorObserveADOS/ {print $3}' "$OUT" |
+MEDIAN=$(awk -v name="$NAME" 'index($1, name) == 1 {print $3}' "$OUT" |
     sort -n | awk '{v[NR]=$1} END {if (NR == 0) exit 1; printf "%d\n", v[int((NR+1)/2)]}')
 if [ -z "$MEDIAN" ]; then
-    echo "benchsmoke: no BenchmarkDetectorObserveADOS results in $OUT" >&2
+    echo "benchsmoke: no $NAME results in $OUT" >&2
     exit 1
 fi
 
 LIMIT=$((BASE * 125 / 100))
-echo "benchsmoke: median ${MEDIAN} ns/op, recorded baseline ${BASE} ns/op, limit ${LIMIT} ns/op (+25%)"
+echo "benchsmoke: $NAME median ${MEDIAN} ns/op, recorded baseline ${BASE} ns/op, limit ${LIMIT} ns/op (+25%)"
 if [ "$MEDIAN" -gt "$LIMIT" ]; then
-    echo "benchsmoke: FAIL — Observe latency regressed more than 25% over the BENCH.md baseline" >&2
+    echo "benchsmoke: FAIL — $NAME latency regressed more than 25% over the BENCH.md baseline" >&2
     exit 1
 fi
 echo "benchsmoke: OK"
