@@ -332,6 +332,14 @@ func (d *Detector) SetScoringMode(fastMath, tiered bool) error {
 	return nil
 }
 
+// ScoringMode reports the detector's current runtime scoring mode (the
+// pair SetScoringMode sets). The serving layer's admission controller uses
+// it to capture a channel's configured mode before degrading to tiered
+// scoring under overload, so recovery restores exactly what was set.
+func (d *Detector) ScoringMode() (fastMath, tiered bool) {
+	return d.cfg.FastMath, d.cfg.Tiered
+}
+
 // TierStats returns the tier gate counters (the zero value when Tiered is
 // off).
 func (d *Detector) TierStats() ados.TierStats {

@@ -19,6 +19,10 @@
 //	POST /snapshot                with -snapshot-dir: checkpoint every
 //	                              channel now; returns the commit report
 //	GET  /healthz                 liveness + pool totals
+//	GET  /metrics                 Prometheus text exposition: per-stage
+//	                              latency histograms, throughput counters,
+//	                              admission state, shard queue depths
+//	                              (disable with -metrics=false)
 //	GET  /debug/pprof/*           with -pprof: CPU/heap/alloc/trace profiles
 //	                              (BENCH.md §4)
 //
@@ -85,8 +89,24 @@ type options struct {
 	policyName    string
 	maxChannels   int
 	enablePprof   bool
+	enableMetrics bool
+	admission     bool
+	shedHigh      float64
+	shedLow       float64
+	rejectHigh    float64
+	rejectLow     float64
 	snapshotDir   string
 	snapshotEvery time.Duration
+}
+
+// admissionConfig assembles the pool's admission control from the flags.
+func (o options) admissionConfig() serve.AdmissionConfig {
+	if !o.admission {
+		return serve.AdmissionConfig{}
+	}
+	return serve.AdmissionConfig{Enabled: true,
+		ShedHighFrac: o.shedHigh, ShedLowFrac: o.shedLow,
+		RejectHighFrac: o.rejectHigh, RejectLowFrac: o.rejectLow}
 }
 
 func main() {
@@ -106,6 +126,13 @@ func main() {
 	flag.StringVar(&o.policyName, "policy", "block", "queue overflow policy: block or drop")
 	flag.IntVar(&o.maxChannels, "max-channels", 1024, "maximum concurrently attached channels")
 	flag.BoolVar(&o.enablePprof, "pprof", false, "serve /debug/pprof profiling endpoints (BENCH.md §4); exposes process internals, enable only on trusted listeners")
+	flag.BoolVar(&o.enableMetrics, "metrics", true, "serve the Prometheus text exposition at GET /metrics (per-stage latency histograms, admission state, shard queue depths)")
+	flag.BoolVar(&o.admission, "admission", true, "watermark-based overload control: shed scoring precision (tiered mode) at -shed-high queue fill, reject submissions with HTTP 429 at -reject-high; hysteresis via the matching -*-low fractions")
+	def := serve.DefaultAdmissionConfig()
+	flag.Float64Var(&o.shedHigh, "shed-high", def.ShedHighFrac, "queue-fill fraction that degrades scoring to tiered mode")
+	flag.Float64Var(&o.shedLow, "shed-low", def.ShedLowFrac, "queue-fill fraction that restores the configured scoring mode")
+	flag.Float64Var(&o.rejectHigh, "reject-high", def.RejectHighFrac, "queue-fill fraction that rejects new submissions (HTTP 429 + Retry-After)")
+	flag.Float64Var(&o.rejectLow, "reject-low", def.RejectLowFrac, "queue-fill fraction that stops rejecting (drops back to shed)")
 	flag.StringVar(&o.snapshotDir, "snapshot-dir", "", "crash-safe checkpoint directory: restore channels from it on boot, checkpoint into it periodically, on POST /snapshot and on graceful shutdown")
 	flag.DurationVar(&o.snapshotEvery, "snapshot-every", 0, "with -snapshot-dir: checkpoint every channel at this interval (0 disables periodic snapshots)")
 	flag.Parse()
@@ -152,14 +179,15 @@ func run(o options) error {
 	if err != nil {
 		return err
 	}
-	pool, err := buildPool(o, serve.Config{Shards: o.shards, QueueDepth: o.queueDepth, Policy: policy, Batch: o.batch})
+	pool, err := buildPool(o, serve.Config{Shards: o.shards, QueueDepth: o.queueDepth, Policy: policy, Batch: o.batch,
+		Admission: o.admissionConfig()})
 	if err != nil {
 		return err
 	}
 
 	d := &daemon{pool: pool, template: template, maxChannels: o.maxChannels,
 		obsWindow: o.batch, snapshotDir: o.snapshotDir, started: time.Now()}
-	srv := &http.Server{Addr: o.addr, Handler: d.handler(o.enablePprof)}
+	srv := &http.Server{Addr: o.addr, Handler: d.handler(o.enablePprof, o.enableMetrics)}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -319,12 +347,15 @@ type daemon struct {
 
 // handler assembles the daemon's routes. Factored out of run so the
 // httptest suite drives exactly the production mux.
-func (d *daemon) handler(enablePprof bool) http.Handler {
+func (d *daemon) handler(enablePprof, enableMetrics bool) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", d.handleHealth)
 	mux.HandleFunc("/channels", d.handleList)
 	mux.HandleFunc("/channels/", d.handleChannel)
 	mux.HandleFunc("/snapshot", d.handleSnapshot)
+	if enableMetrics {
+		mux.HandleFunc("/metrics", d.handleMetrics)
+	}
 	if enablePprof {
 		// Profiling endpoints: the perf methodology in BENCH.md captures
 		// CPU, heap, allocation and execution-trace profiles against a live
@@ -337,6 +368,18 @@ func (d *daemon) handler(enablePprof bool) http.Handler {
 		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	}
 	return mux
+}
+
+// handleMetrics serves the pool's registry in Prometheus text exposition
+// format. The registry is live — scraping reads the pool's atomics in
+// place, so the endpoint costs one buffer write per instrument.
+func (d *daemon) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "metrics wants GET", http.StatusMethodNotAllowed)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	d.pool.Metrics().WritePrometheus(w)
 }
 
 // observation is one NDJSON request line.
@@ -355,7 +398,11 @@ type decision struct {
 	Exact   bool    `json:"exact"`
 	Path    string  `json:"path,omitempty"`
 	Dropped bool    `json:"dropped,omitempty"`
-	Error   string  `json:"error,omitempty"`
+	// Rejected marks a line refused by admission control (the pool was past
+	// its reject watermark) — retry later; Dropped marks a DropNewest queue
+	// overflow.
+	Rejected bool   `json:"rejected,omitempty"`
+	Error    string `json:"error,omitempty"`
 }
 
 // ensureChannel attaches a fresh clone of the template under id if needed.
@@ -427,6 +474,14 @@ func (d *daemon) handleChannel(w http.ResponseWriter, r *http.Request) {
 func (d *daemon) handleObserve(w http.ResponseWriter, r *http.Request, id string) {
 	if err := d.ensureChannel(id); err != nil {
 		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		return
+	}
+	// Fail fast while overloaded: a stream that starts in the reject state
+	// gets a plain 429 + Retry-After before any line is scored, so clients
+	// back off instead of feeding a stream of per-line rejections.
+	if d.pool.AdmissionState() == serve.AdmitReject {
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, "pool overloaded (admission reject), retry later", http.StatusTooManyRequests)
 		return
 	}
 	// The handler interleaves request-body reads with streamed response
@@ -514,7 +569,14 @@ func (d *daemon) handleObserve(w http.ResponseWriter, r *http.Request, id string
 			err := d.pool.SubmitInto(id, obs.Action, obs.Audience, outs[head])
 			switch {
 			case errors.Is(err, serve.ErrOverloaded):
-				decs[head].Dropped = true
+				// Mid-stream overload: admission rejection and DropNewest
+				// overflow share the sentinel; the admission state tells the
+				// client which one it was (rejected ⇒ back off and retry).
+				if d.pool.AdmissionState() == serve.AdmitReject {
+					decs[head].Rejected = true
+				} else {
+					decs[head].Dropped = true
+				}
 			case err != nil:
 				decs[head].Error = err.Error()
 			default:
@@ -578,6 +640,8 @@ func statusForPoolErr(err error) int {
 		return http.StatusConflict
 	case errors.Is(err, serve.ErrNotSnapshottable):
 		return http.StatusUnprocessableEntity
+	case errors.Is(err, serve.ErrOverloaded):
+		return http.StatusTooManyRequests
 	case errors.Is(err, serve.ErrClosed):
 		return http.StatusServiceUnavailable
 	default:

@@ -86,7 +86,7 @@ func newTestDaemon(t *testing.T, maxChannels, batch int, snapshotDir string) (*d
 	}
 	d := &daemon{pool: pool, template: template(t), maxChannels: maxChannels,
 		obsWindow: batch, snapshotDir: snapshotDir, started: time.Now()}
-	srv := httptest.NewServer(d.handler(false))
+	srv := httptest.NewServer(d.handler(false, true))
 	t.Cleanup(func() {
 		srv.Close()
 		pool.Close()

@@ -1,0 +1,351 @@
+package serve
+
+// Admission-control tests (ISSUE 7): the watermark state machine in
+// isolation, then the pool-level behaviour — shed degrades switchable
+// detectors to tiered scoring, reject refuses submissions with
+// ErrOverloaded before any accepted segment is lost, and recovery restores
+// the configured scoring mode with hysteresis.
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"aovlis"
+)
+
+func TestAdmissionConfigValidate(t *testing.T) {
+	if err := (AdmissionConfig{}).Validate(); err != nil {
+		t.Fatalf("disabled config rejected: %v", err)
+	}
+	if err := DefaultAdmissionConfig().Validate(); err != nil {
+		t.Fatalf("default config rejected: %v", err)
+	}
+	bad := []AdmissionConfig{
+		{Enabled: true}, // zero watermarks
+		{Enabled: true, ShedHighFrac: 1.5, ShedLowFrac: 0.1, RejectHighFrac: 0.9, RejectLowFrac: 0.2},  // high > 1
+		{Enabled: true, ShedHighFrac: 0.5, ShedLowFrac: 0.5, RejectHighFrac: 0.9, RejectLowFrac: 0.2},  // low == high
+		{Enabled: true, ShedHighFrac: 0.5, ShedLowFrac: 0.1, RejectHighFrac: 0.9, RejectLowFrac: 0.9},  // low == high
+		{Enabled: true, ShedHighFrac: 0.95, ShedLowFrac: 0.1, RejectHighFrac: 0.9, RejectLowFrac: 0.2}, // shed above reject
+	}
+	for i, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("bad config %d accepted: %+v", i, cfg)
+		}
+	}
+}
+
+// TestAdmissionStateMachine drives the raw machine through a full
+// overload cycle and checks both the watermark arithmetic and the
+// hysteresis: a raise at the high watermark must not relax until the low
+// watermark, and recovery steps down one level at a time.
+func TestAdmissionStateMachine(t *testing.T) {
+	a := newAdmission(DefaultAdmissionConfig(), 16)
+	// ceil(0.5·16)=8, floor(0.125·16)=2, ceil(0.9·16)=15, floor(0.25·16)=4.
+	if a.shedHigh != 8 || a.shedLow != 2 || a.rejectHigh != 15 || a.rejectLow != 4 {
+		t.Fatalf("watermarks = shed %d/%d reject %d/%d", a.shedHigh, a.shedLow, a.rejectHigh, a.rejectLow)
+	}
+
+	if s := a.admit(0); s != AdmitNormal {
+		t.Fatalf("empty queue admitted at %v", s)
+	}
+	if s := a.admit(7); s != AdmitNormal {
+		t.Fatalf("below shed-high admitted at %v", s)
+	}
+	if s := a.admit(8); s != AdmitShed {
+		t.Fatalf("at shed-high admitted at %v", s)
+	}
+	// Hysteresis: dropping below the trigger does NOT relax.
+	a.relax(7)
+	if s := a.current(); s != AdmitShed {
+		t.Fatalf("relaxed to %v at depth 7 (shed-low is 2)", s)
+	}
+	if s := a.admit(15); s != AdmitReject {
+		t.Fatalf("at reject-high admitted at %v", s)
+	}
+	// Recovery is stepwise: reject → shed at reject-low, not straight to
+	// normal even though depth 3 is above shed-low.
+	a.relax(5)
+	if s := a.current(); s != AdmitReject {
+		t.Fatalf("relaxed to %v at depth 5 (reject-low is 4)", s)
+	}
+	a.relax(3)
+	if s := a.current(); s != AdmitShed {
+		t.Fatalf("reject relaxed to %v at depth 3, want shed", s)
+	}
+	a.relax(3)
+	if s := a.current(); s != AdmitShed {
+		t.Fatalf("shed relaxed to %v at depth 3 (shed-low is 2)", s)
+	}
+	a.relax(2)
+	if s := a.current(); s != AdmitNormal {
+		t.Fatalf("shed did not relax at shed-low: %v", s)
+	}
+	if got := a.transitions.Load(); got != 4 {
+		t.Fatalf("transitions = %d, want 4 (normal→shed→reject→shed→normal)", got)
+	}
+
+	// Disabled machine never moves.
+	off := newAdmission(AdmissionConfig{}, 16)
+	if s := off.admit(16); s != AdmitNormal {
+		t.Fatalf("disabled admission raised to %v", s)
+	}
+}
+
+func TestAdmissionStateString(t *testing.T) {
+	for s, want := range map[AdmissionState]string{
+		AdmitNormal: "normal", AdmitShed: "shed", AdmitReject: "reject", AdmissionState(9): "AdmissionState(9)",
+	} {
+		if s.String() != want {
+			t.Fatalf("String(%d) = %q, want %q", s, s.String(), want)
+		}
+	}
+}
+
+// gatedSwitchableDetector blocks each Observe on a release channel and
+// records scoring-mode switches. The mode fields are safe as plain fields:
+// the pool confines all calls to one shard worker, and the test reads them
+// only via Stats/after drain barriers.
+type gatedSwitchableDetector struct {
+	release   chan struct{} // one receive per Observe
+	closeOnce sync.Once
+	fastMath  bool
+	tiered    bool
+	switches  []string
+}
+
+// newGatedDetector returns a gated detector whose gate opens permanently at
+// test cleanup, so a Fatal mid-test cannot leave pool Close waiting on a
+// worker stuck inside Observe.
+func newGatedDetector(t *testing.T) *gatedSwitchableDetector {
+	g := &gatedSwitchableDetector{release: make(chan struct{})}
+	t.Cleanup(func() { g.closeOnce.Do(func() { close(g.release) }) })
+	return g
+}
+
+func (g *gatedSwitchableDetector) Observe(action, audience []float64) (aovlis.Result, error) {
+	<-g.release
+	if g.tiered {
+		return aovlis.Result{Score: 0.1, Path: "tier-skip"}, nil
+	}
+	return aovlis.Result{Score: 0.1, Exact: true, Path: "exact"}, nil
+}
+
+func (g *gatedSwitchableDetector) SetScoringMode(fastMath, tiered bool) error {
+	g.fastMath, g.tiered = fastMath, tiered
+	g.switches = append(g.switches, fmt.Sprintf("fast=%v tiered=%v", fastMath, tiered))
+	return nil
+}
+
+func (g *gatedSwitchableDetector) ScoringMode() (bool, bool) { return g.fastMath, g.tiered }
+
+// admissionTestConfig: shards=1, queue 10 → shed at 5 (low 1), reject at 9
+// (low 2).
+func admissionTestConfig() Config {
+	return Config{Shards: 1, QueueDepth: 10, Policy: Block,
+		Admission: AdmissionConfig{Enabled: true,
+			ShedHighFrac: 0.5, ShedLowFrac: 0.1, RejectHighFrac: 0.9, RejectLowFrac: 0.2}}
+}
+
+// TestPoolShedsThenRejectsThenRecovers walks the pool through the full
+// overload cycle: back the queue up past the shed watermark (worker flips
+// the detector to tiered scoring), past the reject watermark (submissions
+// refused with ErrOverloaded, nothing accepted is lost), then drain and
+// verify recovery restored the configured exact scoring mode.
+func TestPoolShedsThenRejectsThenRecovers(t *testing.T) {
+	p := newTestPool(t, admissionTestConfig())
+	det := newGatedDetector(t)
+	if err := p.Attach("ch", det); err != nil {
+		t.Fatal(err)
+	}
+
+	var outs []<-chan Outcome
+	submit := func() error {
+		out, err := p.Submit("ch", []float64{1}, []float64{1})
+		if err == nil {
+			outs = append(outs, out)
+		}
+		return err
+	}
+
+	// First submission is dequeued immediately and blocks inside Observe;
+	// wait for the dequeue so queue length becomes deterministic.
+	if err := submit(); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool {
+		st, _ := p.Stats("ch")
+		return st.QueueDepth == 0 && len(p.shards[0].queue) == 0
+	})
+
+	// Back the queue up to the shed watermark: submissions 2..7 see queue
+	// lengths 0..5 at admit time; the one that sees 5 raises to shed.
+	for i := 0; i < 6; i++ {
+		if err := submit(); err != nil {
+			t.Fatalf("submission %d refused: %v", i, err)
+		}
+	}
+	if s := p.AdmissionState(); s != AdmitShed {
+		t.Fatalf("admission state %v after backlog 6, want shed", s)
+	}
+
+	// Fill toward the reject watermark: queue is at 6 now; three more reach
+	// 9, still shed (the raise happens on the submit that SEES depth 9).
+	for i := 0; i < 3; i++ {
+		if err := submit(); err != nil {
+			t.Fatalf("fill submission refused: %v", err)
+		}
+	}
+	if s := p.AdmissionState(); s != AdmitShed {
+		t.Fatalf("admission state %v at depth 9, want shed", s)
+	}
+	err := submit()
+	if !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("submit in reject state returned %v, want ErrOverloaded", err)
+	}
+	if s := p.AdmissionState(); s != AdmitReject {
+		t.Fatalf("admission state %v after reject, want reject", s)
+	}
+	st, _ := p.Stats("ch")
+	if st.Rejected != 1 || st.Dropped != 0 {
+		t.Fatalf("rejected %d dropped %d, want 1/0", st.Rejected, st.Dropped)
+	}
+
+	accepted := len(outs)
+	// Release every accepted observation and wait for the drain.
+	for i := 0; i < accepted; i++ {
+		det.release <- struct{}{}
+	}
+	got := 0
+	for _, out := range outs {
+		o := <-out
+		if o.Err != nil {
+			t.Fatalf("accepted observation failed: %v", o.Err)
+		}
+		got++
+	}
+	if got != accepted {
+		t.Fatalf("outcomes %d, accepted %d — accepted segments were lost", got, accepted)
+	}
+
+	// The worker must have degraded the detector to tiered mid-backlog and
+	// restored the exact mode after the drain relaxed the state.
+	waitFor(t, func() bool { return p.AdmissionState() == AdmitNormal })
+	st, _ = p.Stats("ch")
+	if st.Observed != uint64(accepted) {
+		t.Fatalf("observed %d, want %d", st.Observed, accepted)
+	}
+	if st.ShedScored == 0 {
+		t.Fatal("no observation was scored in shed mode")
+	}
+	if st.Shed {
+		t.Fatal("channel still marked shed after recovery")
+	}
+	ps := p.PoolStats()
+	if ps.AdmissionState != "normal" || ps.Rejected != 1 {
+		t.Fatalf("pool stats %+v", ps)
+	}
+
+	// Scoring-mode switch sequence: degraded to tiered exactly once, then
+	// restored. One more scored segment proves the restored mode sticks.
+	if err := submit(); err != nil {
+		t.Fatal(err)
+	}
+	det.release <- struct{}{}
+	if o := <-outs[len(outs)-1]; o.Err != nil || o.Result.Path != "exact" {
+		t.Fatalf("post-recovery outcome %+v, want exact path", o)
+	}
+	want := []string{"fast=false tiered=true", "fast=false tiered=false"}
+	if len(det.switches) != len(want) {
+		t.Fatalf("scoring-mode switches %v, want %v", det.switches, want)
+	}
+	for i := range want {
+		if det.switches[i] != want[i] {
+			t.Fatalf("scoring-mode switches %v, want %v", det.switches, want)
+		}
+	}
+}
+
+// TestAdmissionDisabledNeverRejects pins the legacy behaviour: with the
+// zero-value AdmissionConfig a Block-policy pool only ever applies
+// backpressure.
+func TestAdmissionDisabledNeverRejects(t *testing.T) {
+	p := newTestPool(t, Config{Shards: 1, QueueDepth: 2, Policy: Block})
+	det := newGatedDetector(t)
+	if err := p.Attach("ch", det); err != nil {
+		t.Fatal(err)
+	}
+	const n = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, err := p.Observe("ch", []float64{1}, []float64{1})
+			errs <- err
+		}()
+	}
+	for i := 0; i < n; i++ {
+		det.release <- struct{}{}
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Fatalf("blocked-policy observe failed: %v", err)
+		}
+	}
+	if s := p.AdmissionState(); s != AdmitNormal {
+		t.Fatalf("disabled admission reports %v", s)
+	}
+	if len(det.switches) != 0 {
+		t.Fatalf("disabled admission switched scoring mode: %v", det.switches)
+	}
+}
+
+// waitFor polls cond with a deadline — for worker-side effects that are
+// eventually consistent with the test goroutine.
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition not reached within 5s")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestInstrumentedPoolSteadyStateAllocs pins the zero-allocation claim for
+// the instrumented submit→score→outcome path: with metrics recording and
+// admission control both active, a steady-state observation allocates
+// nothing on either side of the queue.
+func TestInstrumentedPoolSteadyStateAllocs(t *testing.T) {
+	cfg := admissionTestConfig()
+	cfg.QueueDepth = 64
+	p := newTestPool(t, cfg)
+	if err := p.Attach("ch", &fakeDetector{}); err != nil {
+		t.Fatal(err)
+	}
+	action, audience := []float64{1, 2}, []float64{3}
+	out := make(chan Outcome, 1)
+	// Warm the path (sync.Pool, lazy runtime state).
+	for i := 0; i < 100; i++ {
+		if err := p.SubmitInto("ch", action, audience, out); err != nil {
+			t.Fatal(err)
+		}
+		<-out
+	}
+	n := testing.AllocsPerRun(500, func() {
+		if err := p.SubmitInto("ch", action, audience, out); err != nil {
+			t.Fatal(err)
+		}
+		<-out
+	})
+	if n != 0 {
+		t.Fatalf("instrumented submit path allocates %v allocs/op, want 0", n)
+	}
+}

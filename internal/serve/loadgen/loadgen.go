@@ -1,0 +1,279 @@
+// Package loadgen generates deterministic, seeded open-loop load for the
+// serve.DetectorPool SLO harness (ISSUE 7).
+//
+// The generator draws arrival times from a nonhomogeneous Poisson process
+// via thinning (Lewis & Shedler): candidate arrivals are drawn from a
+// homogeneous process at the profile's peak rate and accepted with
+// probability rate(t)/peak. Everything — arrival times, channel
+// assignment, feature vectors — comes from one seeded PRNG, so a fixed
+// (Config, Seed) pair yields a bit-identical schedule; Hash pins that.
+//
+// The load is OPEN-LOOP: Replay paces submissions by the schedule's
+// arrival times regardless of how fast the system under test drains them.
+// That is the property that makes overload reachable — a closed loop
+// self-throttles and can never push the pool past its watermarks.
+package loadgen
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+)
+
+// Shape selects the offered-load profile.
+type Shape int
+
+const (
+	// Steady offers BaseRate for the whole duration.
+	Steady Shape = iota
+	// Ramp rises linearly from BaseRate at t=0 to PeakRate at t=Duration.
+	Ramp
+	// FlashCrowd offers BaseRate except inside the window
+	// [SpikeStart, SpikeStart+SpikeDur), where it jumps to PeakRate — the
+	// "live event" profile from the paper's streaming setting.
+	FlashCrowd
+)
+
+func (s Shape) String() string {
+	switch s {
+	case Steady:
+		return "steady"
+	case Ramp:
+		return "ramp"
+	case FlashCrowd:
+		return "flash-crowd"
+	default:
+		return fmt.Sprintf("Shape(%d)", int(s))
+	}
+}
+
+// Config parameterises one schedule.
+type Config struct {
+	Shape Shape
+	// Seed fixes the PRNG; equal configs with equal seeds produce
+	// bit-identical schedules.
+	Seed int64
+	// Duration is the span of the offered stream.
+	Duration time.Duration
+	// BaseRate and PeakRate are arrivals per second. PeakRate is ignored
+	// for Steady.
+	BaseRate float64
+	PeakRate float64
+	// SpikeStart/SpikeDur position the FlashCrowd window.
+	SpikeStart time.Duration
+	SpikeDur   time.Duration
+	// Channels spreads arrivals uniformly over channel ids "ch-0".."ch-N-1".
+	Channels int
+	// ActionDim and AudienceDim size the feature vectors.
+	ActionDim   int
+	AudienceDim int
+	// Jitter scales the Gaussian perturbation around each channel's base
+	// feature pattern (default 0.05 when zero).
+	Jitter float64
+}
+
+// Validate reports the first configuration error.
+func (c Config) Validate() error {
+	if c.Duration <= 0 {
+		return fmt.Errorf("loadgen: Duration must be positive, got %v", c.Duration)
+	}
+	if c.BaseRate <= 0 {
+		return fmt.Errorf("loadgen: BaseRate must be positive, got %g", c.BaseRate)
+	}
+	if c.Shape != Steady && c.PeakRate < c.BaseRate {
+		return fmt.Errorf("loadgen: PeakRate %g below BaseRate %g", c.PeakRate, c.BaseRate)
+	}
+	if c.Shape == FlashCrowd {
+		if c.SpikeDur <= 0 {
+			return fmt.Errorf("loadgen: FlashCrowd needs positive SpikeDur, got %v", c.SpikeDur)
+		}
+		if c.SpikeStart < 0 || c.SpikeStart+c.SpikeDur > c.Duration {
+			return fmt.Errorf("loadgen: spike window [%v,%v) outside [0,%v)",
+				c.SpikeStart, c.SpikeStart+c.SpikeDur, c.Duration)
+		}
+	}
+	if c.Channels <= 0 {
+		return fmt.Errorf("loadgen: Channels must be positive, got %d", c.Channels)
+	}
+	if c.ActionDim <= 0 || c.AudienceDim <= 0 {
+		return fmt.Errorf("loadgen: feature dims must be positive, got %d/%d", c.ActionDim, c.AudienceDim)
+	}
+	return nil
+}
+
+// RateAt returns the offered rate (arrivals/second) at offset t.
+func (c Config) RateAt(t time.Duration) float64 {
+	switch c.Shape {
+	case Ramp:
+		frac := float64(t) / float64(c.Duration)
+		if frac < 0 {
+			frac = 0
+		} else if frac > 1 {
+			frac = 1
+		}
+		return c.BaseRate + frac*(c.PeakRate-c.BaseRate)
+	case FlashCrowd:
+		if t >= c.SpikeStart && t < c.SpikeStart+c.SpikeDur {
+			return c.PeakRate
+		}
+		return c.BaseRate
+	default:
+		return c.BaseRate
+	}
+}
+
+// peakRate returns the thinning envelope — the maximum of RateAt.
+func (c Config) peakRate() float64 {
+	if c.Shape == Steady {
+		return c.BaseRate
+	}
+	return math.Max(c.BaseRate, c.PeakRate)
+}
+
+// ExpectedArrivals integrates RateAt over the duration — the mean of the
+// (Poisson-distributed) schedule length.
+func (c Config) ExpectedArrivals() float64 {
+	secs := c.Duration.Seconds()
+	switch c.Shape {
+	case Ramp:
+		return secs * (c.BaseRate + c.PeakRate) / 2
+	case FlashCrowd:
+		return c.BaseRate*(secs-c.SpikeDur.Seconds()) + c.PeakRate*c.SpikeDur.Seconds()
+	default:
+		return c.BaseRate * secs
+	}
+}
+
+// ChannelID returns the id of channel i, matching Arrival.Channel.
+func ChannelID(i int) string { return fmt.Sprintf("ch-%d", i) }
+
+// Arrival is one offered segment.
+type Arrival struct {
+	// At is the offset from stream start.
+	At      time.Duration
+	Channel string
+	// ChannelIndex is the integer behind Channel.
+	ChannelIndex int
+	Action       []float64
+	Audience     []float64
+}
+
+// Schedule is a fully materialised offered stream.
+type Schedule struct {
+	Cfg      Config
+	Arrivals []Arrival
+}
+
+// New draws the complete schedule for cfg. Deterministic: equal cfg
+// (including Seed) ⇒ bit-identical schedule.
+func New(cfg Config) (*Schedule, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Jitter == 0 {
+		cfg.Jitter = 0.05
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	// Per-channel base patterns: a fixed point in feature space per
+	// channel, drawn once so every arrival on a channel is a small
+	// perturbation of the same "normal" segment — matching how the SLO
+	// harness trains its detectors.
+	base := make([][]float64, cfg.Channels)
+	for i := range base {
+		v := make([]float64, cfg.ActionDim+cfg.AudienceDim)
+		for j := range v {
+			v[j] = rng.Float64()
+		}
+		base[i] = v
+	}
+
+	peak := cfg.peakRate()
+	est := int(cfg.ExpectedArrivals())
+	arrivals := make([]Arrival, 0, est+4*int(math.Sqrt(float64(est)))+16)
+	var t float64 // seconds
+	limit := cfg.Duration.Seconds()
+	for {
+		t += rng.ExpFloat64() / peak
+		if t >= limit {
+			break
+		}
+		at := time.Duration(t * float64(time.Second))
+		if rng.Float64()*peak > cfg.RateAt(at) {
+			continue // thinned
+		}
+		ci := rng.Intn(cfg.Channels)
+		a := Arrival{At: at, Channel: ChannelID(ci), ChannelIndex: ci,
+			Action:   make([]float64, cfg.ActionDim),
+			Audience: make([]float64, cfg.AudienceDim)}
+		for j := range a.Action {
+			a.Action[j] = base[ci][j] + cfg.Jitter*rng.NormFloat64()
+		}
+		for j := range a.Audience {
+			a.Audience[j] = base[ci][cfg.ActionDim+j] + cfg.Jitter*rng.NormFloat64()
+		}
+		arrivals = append(arrivals, a)
+	}
+	return &Schedule{Cfg: cfg, Arrivals: arrivals}, nil
+}
+
+// Hash returns the SHA-256 of the schedule's full content (arrival times,
+// channels, features) in hex. This is the reproducibility witness the SLO
+// harness records: the OFFERED stream is bit-identical for a fixed seed
+// even though shed points under real timing are not.
+func (s *Schedule) Hash() string {
+	h := sha256.New()
+	var buf [8]byte
+	put := func(u uint64) {
+		binary.LittleEndian.PutUint64(buf[:], u)
+		h.Write(buf[:])
+	}
+	put(uint64(len(s.Arrivals)))
+	for i := range s.Arrivals {
+		a := &s.Arrivals[i]
+		put(uint64(a.At))
+		put(uint64(a.ChannelIndex))
+		for _, v := range a.Action {
+			put(math.Float64bits(v))
+		}
+		for _, v := range a.Audience {
+			put(math.Float64bits(v))
+		}
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// BaseFeatures returns channel i's unperturbed feature point split into
+// (action, audience) — the training template for the SLO harness. It
+// re-derives the same per-channel bases New drew, without materialising a
+// schedule.
+func BaseFeatures(cfg Config, i int) (action, audience []float64) {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	v := make([]float64, cfg.ActionDim+cfg.AudienceDim)
+	for c := 0; c <= i; c++ {
+		for j := range v {
+			v[j] = rng.Float64()
+		}
+	}
+	return v[:cfg.ActionDim], v[cfg.ActionDim:]
+}
+
+// Replay paces the schedule in real time (open loop): each arrival is
+// handed to submit at its scheduled offset from the replay start,
+// regardless of how earlier submissions fared. submit must not block, or
+// pacing degrades — hand the arrival to the pool and return. Replay
+// returns when the last arrival has been submitted.
+func (s *Schedule) Replay(submit func(Arrival)) {
+	start := time.Now()
+	for i := range s.Arrivals {
+		a := &s.Arrivals[i]
+		if wait := a.At - time.Since(start); wait > 0 {
+			time.Sleep(wait)
+		}
+		submit(*a)
+	}
+}

@@ -41,6 +41,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"aovlis"
 	"aovlis/internal/ados"
@@ -139,6 +140,11 @@ type Config struct {
 	// (strictly one observation per wake-up). Batching is semantically
 	// transparent — scores are bit-identical to the serial path.
 	Batch int
+	// Admission configures watermark-based overload control: shed to
+	// bound-gated tiered scoring when queues back up, reject new
+	// submissions (ErrOverloaded) before any accepted segment is lost,
+	// recover with hysteresis. The zero value disables it.
+	Admission AdmissionConfig
 }
 
 // DefaultConfig returns a small general-purpose pool configuration.
@@ -160,16 +166,19 @@ func (c Config) Validate() error {
 	if c.Batch < 0 {
 		return fmt.Errorf("serve: Batch must be non-negative, got %d", c.Batch)
 	}
-	return nil
+	return c.Admission.Validate()
 }
 
 // Errors returned by the pool's ingest API.
 var (
 	// ErrClosed is returned by operations on a closed pool.
 	ErrClosed = errors.New("serve: pool is closed")
-	// ErrOverloaded is returned under the DropNewest policy when the
-	// channel's shard queue is full; the observation was not enqueued.
-	ErrOverloaded = errors.New("serve: shard queue full, observation dropped")
+	// ErrOverloaded is returned when the observation was not enqueued
+	// because the pool is overloaded: under the DropNewest policy when the
+	// channel's shard queue is full, and by admission control in the
+	// reject state regardless of policy (the daemon maps it to HTTP 429 +
+	// Retry-After). Accepted observations are never discarded.
+	ErrOverloaded = errors.New("serve: pool overloaded, observation not enqueued")
 	// ErrUnknownChannel is returned for ids with no attached channel.
 	ErrUnknownChannel = errors.New("serve: unknown channel")
 	// ErrChannelExists is returned by Attach for duplicate ids.
@@ -196,6 +205,7 @@ type job struct {
 	action   []float64
 	audience []float64
 	out      chan Outcome // buffered(1): the worker's send never blocks
+	enq      time.Time    // submission time, for the queue-wait histogram
 
 	control func()
 }
@@ -209,10 +219,23 @@ type channel struct {
 	fstats filterStatser // det, when it exposes ADOS counters (else nil)
 	tstats tierStatser   // det, when it exposes tier counters (else nil)
 
+	// modeSwitch is det when its scoring tier can be switched at runtime;
+	// baseFast/baseTiered freeze the configured mode at Attach so the
+	// admission shed state can degrade to tiered and restore afterwards.
+	// Both are only touched under p.mu at Attach and read by the shard
+	// worker; degraded is the worker-owned shed flag (atomic so stats can
+	// read it live).
+	modeSwitch scoringModeSwitcher
+	baseFast   bool
+	baseTiered bool
+	degraded   atomic.Bool
+
 	observed    atomic.Uint64 // successfully scored observations
 	warmups     atomic.Uint64 // scored observations still in warm-up
 	detected    atomic.Uint64 // anomaly verdicts
 	dropped     atomic.Uint64 // observations shed under DropNewest
+	rejected    atomic.Uint64 // submissions refused by admission control
+	shedScored  atomic.Uint64 // observations scored while degraded
 	errors      atomic.Uint64 // detector errors
 	filtered    atomic.Uint64 // ADOS decisions made without the exact REIA
 	tierskipped atomic.Uint64 // segments cleared by the tier gate, no LSTM run
@@ -274,6 +297,14 @@ type ChannelStats struct {
 	TierSkipped uint64 `json:"tier_skipped,omitempty"`
 	// Dropped counts observations shed under the DropNewest policy.
 	Dropped uint64 `json:"dropped"`
+	// Rejected counts submissions refused by admission control in the
+	// reject state (they were never accepted, so nothing was lost).
+	Rejected uint64 `json:"rejected,omitempty"`
+	// Shed reports whether the channel is currently scoring in
+	// admission-degraded (bound-gated tiered) mode; ShedScored counts the
+	// observations scored while degraded.
+	Shed       bool   `json:"shed,omitempty"`
+	ShedScored uint64 `json:"shed_scored,omitempty"`
 	// Errors counts detector failures.
 	Errors uint64 `json:"errors"`
 	// QueueDepth is the number of this channel's observations enqueued but
@@ -295,11 +326,17 @@ type PoolStats struct {
 	// configuration.
 	Channels int `json:"channels"`
 	Shards   int `json:"shards"`
-	// Observed/Detected/Dropped/Errors are sums over all channels.
+	// Observed/Detected/Dropped/Rejected/Errors are sums over all channels.
 	Observed uint64 `json:"observed"`
 	Detected uint64 `json:"detected"`
 	Dropped  uint64 `json:"dropped"`
+	Rejected uint64 `json:"rejected"`
 	Errors   uint64 `json:"errors"`
+	// AdmissionState is the pool's overload-control state ("normal",
+	// "shed" or "reject"); ShedChannels counts channels currently scoring
+	// in admission-degraded mode.
+	AdmissionState string `json:"admission_state"`
+	ShedChannels   int    `json:"shed_channels,omitempty"`
 	// TierSkipped sums the channels' tier-gate skip counters.
 	TierSkipped uint64 `json:"tier_skipped,omitempty"`
 	// Batches/Batched sum the channels' micro-batching counters;
@@ -317,6 +354,8 @@ type PoolStats struct {
 type DetectorPool struct {
 	cfg    Config
 	shards []*shard
+	adm    *admission
+	m      *poolMetrics
 	wg     sync.WaitGroup
 
 	// chans is the copy-on-write channel table: the submit path loads it
@@ -340,6 +379,10 @@ func NewDetectorPool(cfg Config) (*DetectorPool, error) {
 	for i := 0; i < cfg.Shards; i++ {
 		s := &shard{index: i, queue: make(chan job, cfg.QueueDepth)}
 		p.shards = append(p.shards, s)
+	}
+	p.adm = newAdmission(cfg.Admission, cfg.QueueDepth)
+	p.m = newPoolMetrics(p)
+	for _, s := range p.shards {
 		p.wg.Add(1)
 		go p.runShard(s)
 	}
@@ -361,11 +404,16 @@ func (p *DetectorPool) runShard(s *shard) {
 				continue
 			}
 			j.ch.pending.Add(-1)
+			p.m.queueWait.Observe(time.Since(j.enq).Seconds())
+			p.applyScoringMode(j.ch)
+			t0 := time.Now()
 			res, err := j.ch.det.Observe(j.action, j.audience)
+			p.m.scoreLatency.Observe(time.Since(t0).Seconds())
 			p.finishJob(j.ch, &j, res, err)
 			if err == nil {
 				p.refreshFiltered(j.ch)
 			}
+			p.adm.relax(p.maxQueueDepth())
 		}
 		return
 	}
@@ -404,6 +452,7 @@ func (p *DetectorPool) runShard(s *shard) {
 		if control != nil {
 			control()
 		}
+		p.adm.relax(p.maxQueueDepth())
 	}
 }
 
@@ -422,12 +471,14 @@ type batchScratch struct {
 func (p *DetectorPool) runBatch(jobs []job, sc *batchScratch) {
 	for i := range jobs {
 		jobs[i].ch.pending.Add(-1)
+		p.m.queueWait.Observe(time.Since(jobs[i].enq).Seconds())
 	}
 	for i := range jobs {
 		ch := jobs[i].ch
 		if ch == nil { // already scored as part of an earlier group
 			continue
 		}
+		p.applyScoringMode(ch)
 		n := 0
 		for k := i; k < len(jobs); k++ {
 			if jobs[k].ch == ch {
@@ -440,7 +491,10 @@ func (p *DetectorPool) runBatch(jobs []job, sc *batchScratch) {
 				if jobs[k].ch != ch {
 					continue
 				}
+				t0 := time.Now()
 				res, err := ch.det.Observe(jobs[k].action, jobs[k].audience)
+				p.m.scoreLatency.Observe(time.Since(t0).Seconds())
+				p.m.occupancy.Observe(1)
 				p.finishJob(ch, &jobs[k], res, err)
 				ch.batches.Add(1)
 				if err == nil {
@@ -482,7 +536,12 @@ func (p *DetectorPool) runGroup(ch *channel, bo batchObserver, jobs []job, sc *b
 	done := 0
 	for done < total {
 		results := sc.results[:total-done]
+		t0 := time.Now()
 		n, err := bo.ObserveBatch(sc.acts[done:], sc.auds[done:], results)
+		p.m.scoreLatency.Observe(time.Since(t0).Seconds())
+		if n > 0 {
+			p.m.occupancy.Observe(float64(n))
+		}
 		ch.batches.Add(1)
 		ch.batched.Add(uint64(n))
 		for x := 0; x < n; x++ {
@@ -505,14 +564,21 @@ func (p *DetectorPool) finishJob(ch *channel, j *job, res aovlis.Result, err err
 	switch {
 	case err != nil:
 		ch.errors.Add(1)
+		p.m.errors.Inc()
 	case res.Warmup:
 		ch.observed.Add(1)
 		ch.warmups.Add(1)
+		p.m.observed.Inc()
 	default:
 		ch.observed.Add(1)
+		p.m.observed.Inc()
 		if res.Anomaly {
 			ch.detected.Add(1)
+			p.m.anomalies.Inc()
 		}
+	}
+	if err == nil && ch.degraded.Load() {
+		ch.shedScored.Add(1)
 	}
 	j.out <- Outcome{Result: res, Err: err}
 }
@@ -572,6 +638,10 @@ func (p *DetectorPool) Attach(id string, det Detector) error {
 	fs, _ := det.(filterStatser)
 	ts, _ := det.(tierStatser)
 	ch := &channel{id: id, shard: p.shardFor(id), det: det, fstats: fs, tstats: ts}
+	if sw, ok := det.(scoringModeSwitcher); ok {
+		ch.modeSwitch = sw
+		ch.baseFast, ch.baseTiered = sw.ScoringMode()
+	}
 	if lc, ok := det.(lifetimeCounter); ok {
 		if n := lc.Observed(); n > 0 {
 			ch.observed.Store(uint64(n))
@@ -657,7 +727,16 @@ func (p *DetectorPool) submit(id string, actionFeat, audienceFeat []float64, out
 		}
 		return nil, fmt.Errorf("%w: %q", ErrUnknownChannel, id)
 	}
-	j := job{ch: ch, action: actionFeat, audience: audienceFeat, out: out}
+	// Admission control gates the front door: in the reject state the
+	// submission is refused before it ever occupies queue space, so
+	// nothing accepted is ever discarded. The check is one queue-length
+	// read and an atomic load on the no-overload path.
+	if p.adm.admit(len(ch.shard.queue)) == AdmitReject {
+		ch.rejected.Add(1)
+		p.m.rejected.Inc()
+		return nil, fmt.Errorf("%w (admission reject, channel %q, shard %d)", ErrOverloaded, id, ch.shard.index)
+	}
+	j := job{ch: ch, action: actionFeat, audience: audienceFeat, out: out, enq: time.Now()}
 	// The gauge is raised before the send so the worker's decrement can
 	// never observe it at zero.
 	ch.pending.Add(1)
@@ -665,10 +744,12 @@ func (p *DetectorPool) submit(id string, actionFeat, audienceFeat []float64, out
 		ch.pending.Add(-1)
 		if errors.Is(err, ErrOverloaded) {
 			ch.dropped.Add(1)
-			return nil, fmt.Errorf("%w (channel %q, shard %d)", ErrOverloaded, id, ch.shard.index)
+			p.m.dropped.Inc()
+			return nil, fmt.Errorf("%w (queue full, channel %q, shard %d)", ErrOverloaded, id, ch.shard.index)
 		}
 		return nil, err
 	}
+	p.m.accepted.Inc()
 	return j.out, nil
 }
 
@@ -718,6 +799,9 @@ func (c *channel) snapshot() ChannelStats {
 		Filtered:    c.filtered.Load(),
 		TierSkipped: c.tierskipped.Load(),
 		Dropped:     c.dropped.Load(),
+		Rejected:    c.rejected.Load(),
+		Shed:        c.degraded.Load(),
+		ShedScored:  c.shedScored.Load(),
 		Errors:      c.errors.Load(),
 		QueueDepth:  c.pending.Load(),
 		Batches:     c.batches.Load(),
@@ -742,7 +826,8 @@ func (p *DetectorPool) AllStats() []ChannelStats {
 
 // PoolStats aggregates all channels plus the live shard queue lengths.
 func (p *DetectorPool) PoolStats() PoolStats {
-	st := PoolStats{Shards: p.cfg.Shards, QueueDepths: make([]int, len(p.shards))}
+	st := PoolStats{Shards: p.cfg.Shards, QueueDepths: make([]int, len(p.shards)),
+		AdmissionState: p.adm.current().String()}
 	for i, s := range p.shards {
 		st.QueueDepths[i] = len(s.queue)
 	}
@@ -751,10 +836,14 @@ func (p *DetectorPool) PoolStats() PoolStats {
 		st.Observed += cs.Observed
 		st.Detected += cs.Detected
 		st.Dropped += cs.Dropped
+		st.Rejected += cs.Rejected
 		st.Errors += cs.Errors
 		st.TierSkipped += cs.TierSkipped
 		st.Batches += cs.Batches
 		st.Batched += cs.Batched
+		if cs.Shed {
+			st.ShedChannels++
+		}
 	}
 	if st.Batches > 0 {
 		st.BatchOccupancy = float64(st.Batched) / float64(st.Batches)

@@ -110,6 +110,7 @@ func (p *DetectorPool) encodeQuiesced(ch *channel, snap Snapshotter) (*bytes.Buf
 		start := time.Now()
 		encErr = snap.Snapshot(&buf)
 		quiesce = time.Since(start)
+		p.m.quiesce.Observe(quiesce.Seconds())
 	})
 	if err != nil {
 		return nil, 0, err

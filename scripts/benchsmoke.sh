@@ -22,12 +22,18 @@ if [ -z "$BASE" ]; then
     exit 1
 fi
 
-MEDIAN=$(awk -v name="$NAME" 'index($1, name) == 1 {print $3}' "$OUT" |
-    sort -n | awk '{v[NR]=$1} END {if (NR == 0) exit 1; printf "%d\n", v[int((NR+1)/2)]}')
-if [ -z "$MEDIAN" ]; then
-    echo "benchsmoke: no $NAME results in $OUT" >&2
+# Count samples before computing the median: a failing command
+# substitution under `set -e` would kill the script silently, so the
+# no-samples case (typo'd benchmark name, empty output file) must be
+# detected explicitly to produce a diagnostic.
+SAMPLES=$(awk -v name="$NAME" 'index($1, name) == 1 {n++} END {print n+0}' "$OUT")
+if [ "$SAMPLES" -eq 0 ]; then
+    echo "benchsmoke: no $NAME samples in $OUT — wrong benchmark name or empty benchmark output" >&2
     exit 1
 fi
+
+MEDIAN=$(awk -v name="$NAME" 'index($1, name) == 1 {print $3}' "$OUT" |
+    sort -n | awk '{v[NR]=$1} END {printf "%d\n", v[int((NR+1)/2)]}')
 
 LIMIT=$((BASE * 125 / 100))
 echo "benchsmoke: $NAME median ${MEDIAN} ns/op, recorded baseline ${BASE} ns/op, limit ${LIMIT} ns/op (+25%)"

@@ -1,0 +1,66 @@
+#!/usr/bin/env sh
+# slosmoke.sh — enforce the recorded SLO p99 baseline (ISSUE 7).
+#
+# Usage: slosmoke.sh [BENCH.md]
+#
+# Runs the serve SLO harness (TestSLOFlashCrowd), parses its machine-
+# readable `SLO-RESULT ...` line, and fails when:
+#   - the harness itself fails (lost accepted segments, drops, p99 over
+#     the in-test ceiling, broken reproducibility),
+#   - no SLO-RESULT line is produced (renamed test, -short, parse drift),
+#   - the reported lost/dropped counts are nonzero, or
+#   - the measured p99 exceeds the BENCH.md §7 baseline
+#     (`<!-- slo-baseline: flash-crowd p99_us=NNN -->`) by more than 50%.
+#
+# The generous +50% margin reflects that p99 includes real queueing under
+# a deliberate 3× overload; the service times are sleep-pinned, so the
+# measurement is machine-independent to scheduler noise.
+set -eu
+
+BENCH_MD=${1:-BENCH.md}
+
+BASE=$(sed -n "s/.*slo-baseline: flash-crowd p99_us=\\([0-9][0-9]*\\).*/\\1/p" "$BENCH_MD" | head -n1)
+if [ -z "$BASE" ]; then
+    echo "slosmoke: no slo-baseline marker for flash-crowd in $BENCH_MD" >&2
+    exit 1
+fi
+
+OUT=$(mktemp)
+trap 'rm -f "$OUT"' EXIT
+
+if ! go test ./internal/serve/ -run 'TestSLOFlashCrowd$' -count=1 -v -timeout 300s >"$OUT" 2>&1; then
+    cat "$OUT"
+    echo "slosmoke: FAIL — SLO harness test failed" >&2
+    exit 1
+fi
+
+LINE=$(sed -n 's/.*\(SLO-RESULT .*\)/\1/p' "$OUT" | head -n1)
+if [ -z "$LINE" ]; then
+    cat "$OUT"
+    echo "slosmoke: no SLO-RESULT line in harness output — test renamed or skipped?" >&2
+    exit 1
+fi
+echo "slosmoke: $LINE"
+
+field() {
+    printf '%s\n' "$LINE" | sed -n "s/.*$1=\\([0-9][0-9]*\\).*/\\1/p"
+}
+P99=$(field p99_us)
+LOST=$(field lost)
+DROPPED=$(field dropped)
+if [ -z "$P99" ] || [ -z "$LOST" ] || [ -z "$DROPPED" ]; then
+    echo "slosmoke: SLO-RESULT line is missing p99_us/lost/dropped fields" >&2
+    exit 1
+fi
+if [ "$LOST" -ne 0 ] || [ "$DROPPED" -ne 0 ]; then
+    echo "slosmoke: FAIL — accepted-segment loss (lost=$LOST dropped=$DROPPED)" >&2
+    exit 1
+fi
+
+LIMIT=$((BASE * 150 / 100))
+echo "slosmoke: p99 ${P99}us, recorded baseline ${BASE}us, limit ${LIMIT}us (+50%)"
+if [ "$P99" -gt "$LIMIT" ]; then
+    echo "slosmoke: FAIL — p99 regressed more than 50% over the BENCH.md §7 baseline" >&2
+    exit 1
+fi
+echo "slosmoke: OK"

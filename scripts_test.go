@@ -1,0 +1,110 @@
+package aovlis_test
+
+// Regression tests for the CI gate scripts (ISSUE 7 satellite): the
+// benchsmoke no-samples path used to exit nonzero *silently* — `set -e`
+// killed the script inside the median command substitution before the
+// diagnostic ran — so a typo'd benchmark name produced an inscrutable CI
+// failure. These tests exec the scripts the way CI does and pin both the
+// exit codes and the diagnostics.
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// runScript executes scripts/<name> with args from the repo root and
+// returns combined output plus the exit error (nil on success).
+func runScript(t *testing.T, name string, args ...string) (string, error) {
+	t.Helper()
+	if _, err := exec.LookPath("sh"); err != nil {
+		t.Skip("sh not available")
+	}
+	cmd := exec.Command("sh", append([]string{filepath.Join("scripts", name)}, args...)...)
+	out, err := cmd.CombinedOutput()
+	return string(out), err
+}
+
+func writeTemp(t *testing.T, name, content string) string {
+	t.Helper()
+	p := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+const benchOutput = `goos: linux
+BenchmarkDetectorObserveADOS-8   	   50000	     20000 ns/op
+BenchmarkDetectorObserveADOS-8   	   50000	     21000 ns/op
+BenchmarkDetectorObserveADOS-8   	   50000	     22000 ns/op
+PASS
+`
+
+func TestBenchsmokeHappyPath(t *testing.T) {
+	out := writeTemp(t, "bench.txt", benchOutput)
+	bench := writeTemp(t, "BENCH.md", "<!-- bench-baseline: BenchmarkDetectorObserveADOS ns/op=20000 -->\n")
+	got, err := runScript(t, "benchsmoke.sh", out, bench)
+	if err != nil {
+		t.Fatalf("benchsmoke failed on valid input: %v\n%s", err, got)
+	}
+	if !strings.Contains(got, "median 21000 ns/op") {
+		t.Fatalf("median not reported:\n%s", got)
+	}
+}
+
+// TestBenchsmokeNoSamplesFails is the regression pin: a benchmark name
+// with zero samples in the output must fail LOUDLY, with a diagnostic
+// naming the benchmark — not via a silent set -e exit.
+func TestBenchsmokeNoSamplesFails(t *testing.T) {
+	out := writeTemp(t, "bench.txt", benchOutput)
+	bench := writeTemp(t, "BENCH.md", "<!-- bench-baseline: BenchmarkDoesNotExist ns/op=20000 -->\n")
+	got, err := runScript(t, "benchsmoke.sh", out, bench, "BenchmarkDoesNotExist")
+	if err == nil {
+		t.Fatalf("benchsmoke passed with zero samples:\n%s", got)
+	}
+	if !strings.Contains(got, "no BenchmarkDoesNotExist samples") {
+		t.Fatalf("no-samples diagnostic missing:\n%s", got)
+	}
+}
+
+func TestBenchsmokeRegressionFails(t *testing.T) {
+	out := writeTemp(t, "bench.txt", benchOutput)
+	// Baseline 10000 ns/op → +25% limit 12500 < median 21000.
+	bench := writeTemp(t, "BENCH.md", "<!-- bench-baseline: BenchmarkDetectorObserveADOS ns/op=10000 -->\n")
+	got, err := runScript(t, "benchsmoke.sh", out, bench)
+	if err == nil {
+		t.Fatalf("benchsmoke passed a 2x regression:\n%s", got)
+	}
+	if !strings.Contains(got, "regressed") {
+		t.Fatalf("regression diagnostic missing:\n%s", got)
+	}
+}
+
+func TestBenchsmokeMissingBaselineFails(t *testing.T) {
+	out := writeTemp(t, "bench.txt", benchOutput)
+	bench := writeTemp(t, "BENCH.md", "no marker here\n")
+	got, err := runScript(t, "benchsmoke.sh", out, bench)
+	if err == nil {
+		t.Fatalf("benchsmoke passed without a baseline marker:\n%s", got)
+	}
+	if !strings.Contains(got, "no bench-baseline marker") {
+		t.Fatalf("missing-marker diagnostic missing:\n%s", got)
+	}
+}
+
+// TestSlosmokeMissingBaselineFails pins the slosmoke preflight: without a
+// machine-readable §7 baseline the gate must refuse to run (cheaply —
+// this path exits before invoking go test).
+func TestSlosmokeMissingBaselineFails(t *testing.T) {
+	bench := writeTemp(t, "BENCH.md", "no marker here\n")
+	got, err := runScript(t, "slosmoke.sh", bench)
+	if err == nil {
+		t.Fatalf("slosmoke passed without a baseline marker:\n%s", got)
+	}
+	if !strings.Contains(got, "no slo-baseline marker") {
+		t.Fatalf("missing-marker diagnostic missing:\n%s", got)
+	}
+}
