@@ -49,6 +49,7 @@ package main
 
 import (
 	"bufio"
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -97,6 +98,7 @@ type options struct {
 	rejectLow     float64
 	snapshotDir   string
 	snapshotEvery time.Duration
+	nodeID        string
 }
 
 // admissionConfig assembles the pool's admission control from the flags.
@@ -135,6 +137,7 @@ func main() {
 	flag.Float64Var(&o.rejectLow, "reject-low", def.RejectLowFrac, "queue-fill fraction that stops rejecting (drops back to shed)")
 	flag.StringVar(&o.snapshotDir, "snapshot-dir", "", "crash-safe checkpoint directory: restore channels from it on boot, checkpoint into it periodically, on POST /snapshot and on graceful shutdown")
 	flag.DurationVar(&o.snapshotEvery, "snapshot-every", 0, "with -snapshot-dir: checkpoint every channel at this interval (0 disables periodic snapshots)")
+	flag.StringVar(&o.nodeID, "node-id", "", "stable node identity reported by /healthz; an aovlisr router cross-checks it against its -nodes config so a stale port reuse can never masquerade as a fleet member")
 	flag.Parse()
 
 	if err := run(o); err != nil {
@@ -186,7 +189,7 @@ func run(o options) error {
 	}
 
 	d := &daemon{pool: pool, template: template, maxChannels: o.maxChannels,
-		obsWindow: o.batch, snapshotDir: o.snapshotDir, started: time.Now()}
+		obsWindow: o.batch, snapshotDir: o.snapshotDir, nodeID: o.nodeID, started: time.Now()}
 	srv := &http.Server{Addr: o.addr, Handler: d.handler(o.enablePprof, o.enableMetrics)}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -323,6 +326,7 @@ type daemon struct {
 	template    *aovlis.Detector
 	maxChannels int
 	snapshotDir string
+	nodeID      string
 	started     time.Time
 
 	// obsWindow is the observe handler's submission pipeline depth: up to
@@ -431,7 +435,18 @@ func (d *daemon) handleChannel(w http.ResponseWriter, r *http.Request) {
 	rest := strings.TrimPrefix(r.URL.Path, "/channels/")
 	id, verb, ok := strings.Cut(rest, "/")
 	if !ok || id == "" {
-		http.Error(w, "want /channels/{id}/observe or /channels/{id}/stats", http.StatusNotFound)
+		// Bare /channels/{id}: DELETE detaches the channel (the final step
+		// of a router-driven migration — the new owner holds the imported
+		// state, the old copy must stop existing so it can never diverge).
+		if id != "" && r.Method == http.MethodDelete {
+			if err := d.pool.Detach(id); err != nil {
+				http.Error(w, err.Error(), statusForPoolErr(err))
+				return
+			}
+			fmt.Fprintf(w, "channel %q detached\n", id)
+			return
+		}
+		http.Error(w, "want /channels/{id}/observe, /channels/{id}/stats or DELETE /channels/{id}", http.StatusNotFound)
 		return
 	}
 	switch verb {
@@ -476,6 +491,19 @@ func (d *daemon) handleObserve(w http.ResponseWriter, r *http.Request, id string
 		http.Error(w, err.Error(), http.StatusServiceUnavailable)
 		return
 	}
+	// The handler interleaves request-body reads with streamed response
+	// writes. Go's HTTP/1 server is half-duplex by default — it discards
+	// the unread body once the response starts — so full duplex must be
+	// requested explicitly (HTTP/2 interleaves natively; the error there
+	// is ignorable). This must happen before ANY early return that writes
+	// a response: without it the server blocks post-handler draining the
+	// unread request body, and a router (aovlisr) holds its forward pipe
+	// open indefinitely — the 429 below would deadlock instead of reaching
+	// the client.
+	if err := http.NewResponseController(w).EnableFullDuplex(); err != nil && r.ProtoMajor == 1 {
+		http.Error(w, fmt.Sprintf("streaming unsupported: %v", err), http.StatusInternalServerError)
+		return
+	}
 	// Fail fast while overloaded: a stream that starts in the reject state
 	// gets a plain 429 + Retry-After before any line is scored, so clients
 	// back off instead of feeding a stream of per-line rejections.
@@ -484,20 +512,9 @@ func (d *daemon) handleObserve(w http.ResponseWriter, r *http.Request, id string
 		http.Error(w, "pool overloaded (admission reject), retry later", http.StatusTooManyRequests)
 		return
 	}
-	// The handler interleaves request-body reads with streamed response
-	// writes. Go's HTTP/1 server is half-duplex by default — it discards
-	// the unread body once the response starts — so full duplex must be
-	// requested explicitly (HTTP/2 interleaves natively; the error there
-	// is ignorable).
-	if err := http.NewResponseController(w).EnableFullDuplex(); err != nil && r.ProtoMajor == 1 {
-		http.Error(w, fmt.Sprintf("streaming unsupported: %v", err), http.StatusInternalServerError)
-		return
-	}
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	flusher, _ := w.(http.Flusher)
 	enc := json.NewEncoder(w)
-	sc := bufio.NewScanner(r.Body)
-	sc.Buffer(make([]byte, 0, 1<<20), 1<<20) // feature vectors can be wide
 
 	window := d.obsWindow
 	if window < 1 {
@@ -524,46 +541,42 @@ func (d *daemon) handleObserve(w http.ResponseWriter, r *http.Request, id string
 			}
 		}
 	}()
-	// emit resolves slot s (receiving its outcome if one is in flight) and
-	// streams its decision line; false means the client went away.
-	emit := func(s int) bool {
-		if pending[s] {
-			o := <-outs[s]
-			pending[s] = false
-			if o.Err != nil {
-				decs[s].Error = o.Err.Error()
-			} else {
-				decs[s].Warmup = o.Result.Warmup
-				decs[s].Anomaly = o.Result.Anomaly
-				decs[s].Score = o.Result.Score
-				decs[s].Exact = o.Result.Exact
-				decs[s].Path = o.Result.Path
-			}
+	resolve := func(s int, o serve.Outcome) {
+		pending[s] = false
+		if o.Err != nil {
+			decs[s].Error = o.Err.Error()
+		} else {
+			decs[s].Warmup = o.Result.Warmup
+			decs[s].Anomaly = o.Result.Anomaly
+			decs[s].Score = o.Result.Score
+			decs[s].Exact = o.Result.Exact
+			decs[s].Path = o.Result.Path
 		}
+	}
+	// Decisions are written eagerly but flushed lazily: Flush costs a
+	// chunked-transfer write syscall, and at tens of thousands of segments
+	// per second one per decision dominates the single-core budget. The
+	// loop flushes exactly when it is about to block — every decision the
+	// handler has is on the wire before it waits for anything.
+	needFlush := false
+	writeLine := func(s int) bool {
 		if err := enc.Encode(decs[s]); err != nil {
 			return false
 		}
-		if flusher != nil {
-			flusher.Flush()
-		}
+		needFlush = true
 		return true
 	}
-
+	flushIdle := func() {
+		if needFlush && flusher != nil {
+			flusher.Flush()
+			needFlush = false
+		}
+	}
 	seq := 0
-	for sc.Scan() {
-		line := strings.TrimSpace(sc.Text())
-		if line == "" {
-			continue
-		}
-		if inflight == window {
-			if !emit((head + window - inflight) % window) {
-				return // deferred drain releases the rest
-			}
-			inflight--
-		}
+	accept := func(line []byte) {
 		var obs observation
 		decs[head] = decision{Channel: id, Seq: seq}
-		if err := json.Unmarshal([]byte(line), &obs); err != nil {
+		if err := json.Unmarshal(line, &obs); err != nil {
 			decs[head].Error = fmt.Sprintf("bad observation line: %v", err)
 		} else {
 			err := d.pool.SubmitInto(id, obs.Action, obs.Audience, outs[head])
@@ -587,15 +600,105 @@ func (d *daemon) handleObserve(w http.ResponseWriter, r *http.Request, id string
 		inflight++
 		seq++
 	}
-	for ; inflight > 0; inflight-- {
-		if !emit((head + window - inflight) % window) {
-			return
+
+	// Lines arrive through a feeder goroutine so the loop below can select
+	// over {next line, oldest outcome}: a decision streams out the moment
+	// its outcome resolves, even while the client is idle mid-stream.
+	// Scanning inline instead would park the handler in Read with resolved
+	// verdicts stuck behind it — an idle client (or a router that stopped
+	// sending while it drains acknowledgements for a migration) would wait
+	// indefinitely on decisions this handler already had. Buffers recycle
+	// through lineFree; every feeder send selects on the request context,
+	// which the server cancels when the handler returns, so an aborted
+	// stream never strands the goroutine.
+	ctx := r.Context()
+	lineCh := make(chan []byte)
+	lineFree := make(chan []byte, 2)
+	for i := 0; i < cap(lineFree); i++ {
+		lineFree <- make([]byte, 0, 512)
+	}
+	var scErr error
+	go func() {
+		sc := bufio.NewScanner(r.Body)
+		sc.Buffer(make([]byte, 0, 1<<20), 1<<20) // feature vectors can be wide
+		for sc.Scan() {
+			line := bytes.TrimSpace(sc.Bytes())
+			if len(line) == 0 {
+				continue
+			}
+			var buf []byte
+			select {
+			case buf = <-lineFree:
+			case <-ctx.Done():
+				close(lineCh)
+				return
+			}
+			select {
+			case lineCh <- append(buf[:0], line...):
+			case <-ctx.Done():
+				close(lineCh)
+				return
+			}
+		}
+		scErr = sc.Err() // happens-before the close the main loop observes
+		close(lineCh)
+	}()
+
+	for open := true; open || inflight > 0; {
+		oldest := (head + window - inflight) % window
+		if inflight > 0 && !pending[oldest] {
+			// Resolved at submit time (parse error, drop, rejection) or by
+			// a received outcome: stream it out before anything else.
+			if !writeLine(oldest) {
+				return // deferred drain releases the rest
+			}
+			inflight--
+			continue
+		}
+		in := lineCh
+		if !open || inflight == window {
+			in = nil // window full (or EOF): only an outcome makes progress
+		}
+		var out chan serve.Outcome
+		if inflight > 0 {
+			out = outs[oldest] // pending[oldest] holds here
+		}
+		var (
+			buf    []byte
+			lineOK bool
+			o      serve.Outcome
+			isLine bool
+		)
+		select {
+		case buf, lineOK = <-in:
+			isLine = true
+		case o = <-out:
+		default:
+			// Nothing immediately available: flush buffered decisions
+			// before blocking. (in and out cannot both be nil here — that
+			// would need EOF plus an empty pipeline, which ends the loop.)
+			flushIdle()
+			select {
+			case buf, lineOK = <-in:
+				isLine = true
+			case o = <-out:
+			}
+		}
+		if isLine {
+			if !lineOK {
+				open = false
+				continue
+			}
+			accept(buf)
+			lineFree <- buf // capacity ≥ buffers in flight: never blocks
+		} else {
+			resolve(oldest, o)
 		}
 	}
 	// A scanner failure (e.g. a line over the buffer cap) would otherwise
 	// look like a cleanly completed stream; surface it as a final line.
-	if err := sc.Err(); err != nil {
-		enc.Encode(decision{Channel: id, Seq: seq, Error: fmt.Sprintf("request stream aborted: %v", err)})
+	if scErr != nil {
+		enc.Encode(decision{Channel: id, Seq: seq, Error: fmt.Sprintf("request stream aborted: %v", scErr)})
 	}
 }
 
@@ -634,6 +737,11 @@ func (d *daemon) handleChannelSnapshot(w http.ResponseWriter, r *http.Request, i
 // statusForPoolErr maps pool errors onto HTTP statuses.
 func statusForPoolErr(err error) int {
 	switch {
+	case errors.Is(err, serve.ErrChannelIDMismatch):
+		// A snapshot whose manifest id disagrees with the URL id is a
+		// malformed request, not a state conflict: reject before anything
+		// attaches.
+		return http.StatusBadRequest
 	case errors.Is(err, serve.ErrUnknownChannel):
 		return http.StatusNotFound
 	case errors.Is(err, serve.ErrChannelExists):
@@ -684,6 +792,9 @@ func (d *daemon) handleHealth(w http.ResponseWriter, r *http.Request) {
 		"status":         "ok",
 		"uptime_seconds": int(time.Since(d.started).Seconds()),
 		"pool":           ps,
+	}
+	if d.nodeID != "" {
+		resp["node_id"] = d.nodeID
 	}
 	if d.snapshotDir != "" {
 		resp["snapshot_dir"] = d.snapshotDir

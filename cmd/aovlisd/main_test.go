@@ -361,11 +361,15 @@ func TestChannelSnapshotMigration(t *testing.T) {
 	if err != nil || resp.StatusCode != http.StatusOK {
 		t.Fatalf("export status %d err %v", resp.StatusCode, err)
 	}
-	if _, err := aovlis.RestoreDetector(bytes.NewReader(blob)); err != nil {
+	if exportedID, _, err := serve.DecodeChannelExport(bytes.NewReader(blob)); err != nil {
 		t.Fatalf("exported stream is not restorable: %v", err)
+	} else if exportedID != "mover" {
+		t.Fatalf("export manifest id %q, want %q", exportedID, "mover")
 	}
 
-	// Import under a new id: the restored channel resumes mid-window.
+	// Importing under a DIFFERENT id must be a 400: the export carries its
+	// channel identity and the daemon rejects crossed streams before
+	// anything attaches.
 	req, err := http.NewRequest(http.MethodPut, srv.URL+"/channels/moved/snapshot", bytes.NewReader(blob))
 	if err != nil {
 		t.Fatal(err)
@@ -375,10 +379,39 @@ func TestChannelSnapshotMigration(t *testing.T) {
 		t.Fatal(err)
 	}
 	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("cross-id import status %d, want 400", resp.StatusCode)
+	}
+
+	// The migration flow proper: detach the source copy, re-import under
+	// the same id, and the restored channel resumes with its lifetime
+	// counters intact.
+	req, _ = http.NewRequest(http.MethodDelete, srv.URL+"/channels/mover", nil)
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("detach status %d, want 200", resp.StatusCode)
+	}
+	if resp, err = http.Get(srv.URL + "/channels/mover/stats"); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("stats after detach status %d, want 404", resp.StatusCode)
+	}
+	req, _ = http.NewRequest(http.MethodPut, srv.URL+"/channels/mover/snapshot", bytes.NewReader(blob))
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
 	if resp.StatusCode != http.StatusCreated {
 		t.Fatalf("import status %d, want 201", resp.StatusCode)
 	}
-	st, err := http.Get(srv.URL + "/channels/moved/stats")
+	st, err := http.Get(srv.URL + "/channels/mover/stats")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -393,7 +426,7 @@ func TestChannelSnapshotMigration(t *testing.T) {
 
 	// Error paths: duplicate id conflicts, garbage rejects, unknown 404s,
 	// wrong methods 405.
-	req, _ = http.NewRequest(http.MethodPut, srv.URL+"/channels/moved/snapshot", bytes.NewReader(blob))
+	req, _ = http.NewRequest(http.MethodPut, srv.URL+"/channels/mover/snapshot", bytes.NewReader(blob))
 	resp, err = http.DefaultClient.Do(req)
 	if err != nil {
 		t.Fatal(err)
@@ -419,7 +452,7 @@ func TestChannelSnapshotMigration(t *testing.T) {
 	if resp.StatusCode != http.StatusNotFound {
 		t.Fatalf("unknown export status %d, want 404", resp.StatusCode)
 	}
-	req, _ = http.NewRequest(http.MethodDelete, srv.URL+"/channels/moved/snapshot", nil)
+	req, _ = http.NewRequest(http.MethodDelete, srv.URL+"/channels/mover/snapshot", nil)
 	resp, err = http.DefaultClient.Do(req)
 	if err != nil {
 		t.Fatal(err)

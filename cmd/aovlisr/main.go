@@ -1,0 +1,93 @@
+// Command aovlisr is the AOVLIS fleet router: the scale-out serving tier
+// in front of N aovlisd node processes. It consistent-hash-places channels
+// across the fleet (bounded-load, so no node carries more than
+// -load-factor times its fair share), forwards NDJSON observe streams to
+// each channel's owner over pooled connections, live-migrates channels
+// between nodes on POST /cluster/rebalance, and fails a dead node's
+// channels over onto survivors — warm-restoring each from the node's last
+// checkpoint when its -snapshot-dir is shared with the router.
+//
+// Clients speak the exact aovlisd channel API to the router; the fleet is
+// invisible to them:
+//
+//	aovlisr -addr :7600 -nodes "a=http://127.0.0.1:7601=/shared/a,b=http://127.0.0.1:7602=/shared/b"
+//	curl -N -X POST --data-binary @segments.ndjson http://127.0.0.1:7600/channels/alice/observe
+//
+// Admin surface: GET /cluster/nodes (fleet health), GET
+// /cluster/place?channel=X (ownership lookup), POST /cluster/rebalance
+// (canonical re-placement), GET /healthz, GET /metrics.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"aovlis/internal/cluster"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", ":7600", "router listen address")
+		nodes      = flag.String("nodes", "", "fleet spec: name=url[=snapshotdir],... — the name must match each node's -node-id; the optional snapshotdir is that node's -snapshot-dir as visible to the router, enabling warm failover")
+		replicas   = flag.Int("vnodes", cluster.DefaultReplicas, "virtual points per node on the hash ring")
+		loadFactor = flag.Float64("load-factor", cluster.DefaultLoadFactor, "bounded-load factor: no node owns more than this multiple of the mean channel count")
+		window     = flag.Int("window", 32, "per-stream pipelining depth: unacknowledged segments in flight per observe stream (also bounds segments queued at the router across a failover)")
+		probeEvery = flag.Duration("probe-every", 500*time.Millisecond, "health-probe period")
+		failAfter  = flag.Int("fail-after", 3, "consecutive probe failures that declare a node dead and trigger failover")
+		failWait   = flag.Duration("failover-wait", 15*time.Second, "how long a stream keeps unacknowledged segments queued waiting for a new owner before answering them with error lines")
+	)
+	flag.Parse()
+	if err := run(*addr, *nodes, *replicas, *loadFactor, *window, *probeEvery, *failAfter, *failWait); err != nil {
+		fmt.Fprintln(os.Stderr, "aovlisr:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr, nodes string, replicas int, loadFactor float64, window int,
+	probeEvery time.Duration, failAfter int, failWait time.Duration) error {
+	if nodes == "" {
+		return fmt.Errorf("-nodes is required (name=url[=snapshotdir],...)")
+	}
+	specs, err := cluster.ParseNodeSpecs(nodes)
+	if err != nil {
+		return err
+	}
+	r, err := cluster.New(cluster.Config{
+		Nodes:        specs,
+		Replicas:     replicas,
+		LoadFactor:   loadFactor,
+		Window:       window,
+		ProbeEvery:   probeEvery,
+		FailAfter:    failAfter,
+		FailoverWait: failWait,
+	})
+	if err != nil {
+		return err
+	}
+	r.Start()
+	defer r.Close()
+
+	srv := &http.Server{Addr: addr, Handler: r.Handler()}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	fmt.Printf("aovlisr routing %d nodes on %s (vnodes %d, load factor %.2f)\n",
+		len(specs), addr, replicas, loadFactor)
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	fmt.Println("aovlisr: shutting down")
+	shCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	return srv.Shutdown(shCtx)
+}

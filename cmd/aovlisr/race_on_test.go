@@ -1,0 +1,8 @@
+//go:build race
+
+package main
+
+// raceEnabled reports whether this test binary runs under the race
+// detector: the soak builds its aovlisd child with -race to match, and
+// the throughput benchmark skips (its numbers would be meaningless).
+const raceEnabled = true

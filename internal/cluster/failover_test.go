@@ -1,0 +1,311 @@
+package cluster
+
+// In-process failover and error-recovery tests. The multi-process soak in
+// cmd/aovlisr pins the router against the real daemon, but it runs child
+// binaries, so none of the recovery code it exercises shows up as covered
+// — and its failure modes (a SIGKILLed process) can't be sequenced
+// precisely. These tests drive the same paths with stub nodes whose
+// failures happen on cue: idle-connection death after a failover, a node
+// answering 500 mid-budget, 429 without Retry-After, revival.
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestRouterIdleFailoverSeqContinuity is the regression pin for the
+// idle-failover seq bug: a stream whose every accepted segment is already
+// acknowledged (npending == 0) loses its owner; the replacement connection
+// opens with NOTHING pending, so probeOpen cannot derive the offset from
+// the pending ring — it must come from the stream's next client seq.
+// Before the fix the new node's restarted numbering passed through
+// verbatim and the client saw seq 0 again mid-stream.
+func TestRouterIdleFailoverSeqContinuity(t *testing.T) {
+	stubs, r, srv := newTestCluster(t, 2, func(cfg *Config) {
+		cfg.ProbeEvery = 20 * time.Millisecond
+		cfg.ProbeTimeout = 200 * time.Millisecond
+		cfg.FailAfter = 2
+	})
+	r.Start()
+
+	// Open the stream and settle three segments, so the proxy goes idle
+	// with its window empty.
+	pr, pw := io.Pipe()
+	req, err := http.NewRequest(http.MethodPost, srv.URL+"/channels/steady/observe", pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	respCh := make(chan *http.Response, 1)
+	go func() {
+		resp, rerr := http.DefaultClient.Do(req)
+		if rerr != nil {
+			t.Error(rerr)
+			close(respCh)
+			return
+		}
+		respCh <- resp
+	}()
+	for i := 0; i < 3; i++ {
+		if _, err := io.WriteString(pw, obsLine(float64(i)/10)+"\n"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	resp, ok := <-respCh
+	if !ok {
+		t.Fatal("no response")
+	}
+	defer resp.Body.Close()
+	br := bufio.NewReader(resp.Body)
+	readDecision := func() Decision {
+		t.Helper()
+		raw, err := br.ReadBytes('\n')
+		if err != nil {
+			t.Fatalf("reading decision: %v", err)
+		}
+		var d Decision
+		if err := json.Unmarshal(raw, &d); err != nil {
+			t.Fatalf("bad decision %q: %v", raw, err)
+		}
+		return d
+	}
+	var victimIdx int
+	for i := 0; i < 3; i++ {
+		d := readDecision()
+		if d.Seq != i || d.Error != "" {
+			t.Fatalf("pre-kill decision %d: %+v", i, d)
+		}
+		victimIdx = scoreNode(d.Score) - 1
+	}
+	victim := stubs[victimIdx]
+	survivor := stubs[1-victimIdx]
+
+	// Fail the owner: sick health first so the monitor re-places the
+	// channel while the observe connection is still idle-open, THEN sever
+	// that connection — the ack error now arrives with the survivor
+	// already owning the channel, which is the buggy geometry.
+	victim.sick.Store(true)
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		e := r.tbl.get("steady")
+		owner, _, _ := e.state()
+		if owner.Spec.Name == survivor.name {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("failover never re-placed the channel")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	victim.srv.CloseClientConnections()
+
+	// Give the proxy a beat to observe the dead connection and recover,
+	// then continue the stream: seqs must continue from 3, scored by the
+	// survivor, with no duplicate numbering.
+	time.Sleep(50 * time.Millisecond)
+	for i := 3; i < 6; i++ {
+		if _, err := io.WriteString(pw, obsLine(float64(i)/10)+"\n"); err != nil {
+			t.Fatal(err)
+		}
+		d := readDecision()
+		if d.Error != "" {
+			t.Fatalf("post-failover decision errored: %+v", d)
+		}
+		if d.Seq != i {
+			t.Fatalf("post-failover decision has seq %d, want %d — restarted numbering leaked through", d.Seq, i)
+		}
+		if scoreNode(d.Score)-1 != 1-victimIdx {
+			t.Fatalf("post-failover decision scored by node %d, want survivor %d", scoreNode(d.Score)-1, 1-victimIdx)
+		}
+	}
+	pw.Close()
+}
+
+// TestRouterFailoverBudgetExhausted: a node that answers observe with 500
+// (broken, not overloaded) and never recovers. The proxy retries within
+// FailoverWait, then must answer every accepted segment with an error line
+// — the zero-loss contract's last resort — rather than hanging or dropping.
+func TestRouterFailoverBudgetExhausted(t *testing.T) {
+	stubs, _, srv := newTestCluster(t, 1, func(cfg *Config) {
+		cfg.FailoverWait = 300 * time.Millisecond
+		cfg.RetryEvery = 20 * time.Millisecond
+	})
+	stubs[0].fail500.Store(true)
+
+	decs := observeThrough(t, srv.URL, "doomed", []string{obsLine(0.1), obsLine(0.2)})
+	if len(decs) != 2 {
+		t.Fatalf("%d decisions for 2 accepted segments — segments dropped silently", len(decs))
+	}
+	for i, d := range decs {
+		if d.Seq != i {
+			t.Fatalf("error decision %d has seq %d", i, d.Seq)
+		}
+		if !strings.Contains(d.Error, "failover budget") && !strings.Contains(d.Error, "no owner reachable") {
+			t.Fatalf("decision %d: error %q does not name the failover budget", i, d.Error)
+		}
+	}
+}
+
+// TestRouter429RelayDefaultRetryAfter: the node answers 429 with no
+// Retry-After header at all (a proxy in between stripped it); the relay
+// must still give the client a usable hint rather than vanishing.
+func TestRouter429RelayDefaultRetryAfter(t *testing.T) {
+	stubs, _, srv := newTestCluster(t, 1, nil)
+	stubs[0].retryAfter.Store(0) // omit the header entirely
+	stubs[0].reject.Store(true)
+
+	req, _ := http.NewRequest(http.MethodPost, srv.URL+"/channels/hot/observe", strings.NewReader(obsLine(0.1)+"\n"))
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status %d, want 429", resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra != "1" {
+		t.Fatalf("Retry-After %q, want the default %q", ra, "1")
+	}
+}
+
+// TestRouterWindowFullBackpressure: a stream longer than the pipelining
+// window forces the accept path to resolve acknowledgements before taking
+// new lines (awaitAck); everything still answers in order.
+func TestRouterWindowFullBackpressure(t *testing.T) {
+	_, _, srv := newTestCluster(t, 1, func(cfg *Config) {
+		cfg.Window = 2
+	})
+	lines := make([]string, 12)
+	for i := range lines {
+		lines[i] = obsLine(float64(i) / 100)
+	}
+	decs := observeThrough(t, srv.URL, "burst", lines)
+	if len(decs) != len(lines) {
+		t.Fatalf("%d decisions for %d lines", len(decs), len(lines))
+	}
+	for i, d := range decs {
+		if d.Seq != i || d.Error != "" {
+			t.Fatalf("decision %d: %+v", i, d)
+		}
+	}
+}
+
+// TestRouterRevive: a node that fails over and then recovers must rejoin
+// the placement ring (new channels may land on it again); its channels do
+// not move back automatically — that is an explicit rebalance.
+func TestRouterRevive(t *testing.T) {
+	stubs, r, srv := newTestCluster(t, 2, func(cfg *Config) {
+		cfg.ProbeEvery = 20 * time.Millisecond
+		cfg.ProbeTimeout = 200 * time.Millisecond
+		cfg.FailAfter = 2
+	})
+	r.Start()
+	observeThrough(t, srv.URL, "warmup", []string{obsLine(0.1)})
+
+	victim := r.nodes[0]
+	var victimStub *stubNode
+	for _, s := range stubs {
+		if s.name == victim.Spec.Name {
+			victimStub = s
+		}
+	}
+	victimStub.sick.Store(true)
+	waitCond(t, 5*time.Second, "node never declared dead", func() bool { return !victim.Alive() })
+
+	victimStub.sick.Store(false)
+	waitCond(t, 5*time.Second, "node never revived", func() bool { return victim.Alive() })
+
+	// The revived node is placeable again: spread fresh channels and check
+	// it picks some up (bounded-load placement over 2 alive nodes cannot
+	// starve one of them across many channels).
+	got := false
+	for i := 0; i < 8 && !got; i++ {
+		observeThrough(t, srv.URL, fmt.Sprintf("post-revive-%d", i), []string{obsLine(0.2)})
+		got = victimStub.hasChannel(fmt.Sprintf("post-revive-%d", i))
+	}
+	if !got {
+		t.Fatal("revived node never took a new placement")
+	}
+}
+
+func waitCond(t *testing.T, timeout time.Duration, msg string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal(msg)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestNodeClientErrorPaths unit-tests the node HTTP client's non-happy
+// paths directly: missing channels, duplicate imports, and opaque node
+// errors must all surface as typed/descriptive errors, not hangs.
+func TestNodeClientErrorPaths(t *testing.T) {
+	stub := newStubNode(t, "n", 1)
+	n := newNode(stub.spec(), stub.srv.Client())
+
+	// Export of a channel the node never saw: the "nothing to move"
+	// sentinel, which migration treats as an ownership-flip-only move.
+	if _, err := n.exportSnapshot("ghost"); err != errNoChannelState {
+		t.Fatalf("export of missing channel: %v, want errNoChannelState", err)
+	}
+
+	// Import twice: the second PUT is a 409, surfaced with the status.
+	if err := n.putSnapshot("dup", strings.NewReader(`{"id":"dup","observed":3}`)); err != nil {
+		t.Fatalf("first import: %v", err)
+	}
+	err := n.putSnapshot("dup", strings.NewReader(`{"id":"dup","observed":3}`))
+	if err == nil || !strings.Contains(err.Error(), "409") {
+		t.Fatalf("duplicate import: %v, want a 409 error", err)
+	}
+
+	// Mismatched snapshot id: the node's 400 guard travels through.
+	err = n.putSnapshot("eve", strings.NewReader(`{"id":"mallory","observed":1}`))
+	if err == nil || !strings.Contains(err.Error(), "400") {
+		t.Fatalf("mismatched import: %v, want a 400 error", err)
+	}
+
+	// Detach of a missing channel (404) is success — the desired end
+	// state already holds.
+	if err := n.deleteChannel("ghost"); err != nil {
+		t.Fatalf("detach of missing channel: %v, want nil (404 is the desired state)", err)
+	}
+}
+
+// brokenNode is a server that answers every request 500 — the shape of a
+// node stuck behind a crashed backend.
+func brokenServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "internal meltdown", http.StatusInternalServerError)
+	}))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func TestNodeClientBrokenNode(t *testing.T) {
+	srv := brokenServer(t)
+	n := newNode(NodeSpec{Name: "b", URL: srv.URL}, srv.Client())
+
+	if _, err := n.exportSnapshot("x"); err == nil || !strings.Contains(err.Error(), "500") {
+		t.Fatalf("export from broken node: %v, want a 500 error", err)
+	}
+	if err := n.putSnapshot("x", strings.NewReader("{}")); err == nil || !strings.Contains(err.Error(), "500") {
+		t.Fatalf("import into broken node: %v, want a 500 error", err)
+	}
+	if err := n.deleteChannel("x"); err == nil || !strings.Contains(err.Error(), "500") {
+		t.Fatalf("detach from broken node: %v, want a 500 error", err)
+	}
+	if err := n.probe(time.Second); err == nil || !strings.Contains(err.Error(), "500") {
+		t.Fatalf("probe of broken node: %v, want a 500 error", err)
+	}
+}

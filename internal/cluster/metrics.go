@@ -1,0 +1,81 @@
+package cluster
+
+import (
+	"aovlis/internal/metrics"
+)
+
+// routerMetrics is the router-side observability surface, exported in
+// Prometheus text form at /metrics (same registry machinery as the node
+// tier).
+type routerMetrics struct {
+	reg *metrics.Registry
+
+	// Hot-path counters (segment granularity).
+	segments    *metrics.Counter // client lines accepted for forwarding
+	responses   *metrics.Counter // decision lines returned to clients
+	rejected    *metrics.Counter // lines answered with a rejected decision
+	errored     *metrics.Counter // lines answered with an error decision
+	resubmitted *metrics.Counter // lines re-sent after an upstream died
+
+	// Control-plane counters.
+	rotations   *metrics.Counter // upstream connection rotations
+	streams429  *metrics.Counter // whole streams relayed as 429 + Retry-After
+	migrations  *metrics.Counter // completed channel migrations
+	migrateFail *metrics.Counter // aborted channel migrations
+	failovers   *metrics.Counter // node-death failover events
+	failedOver  *metrics.Counter // channels re-placed by failover
+	restored    *metrics.Counter // failover channels warm-restored from checkpoint
+
+	// forwardLatency is send→acknowledge per segment, router-observed
+	// (includes node queueing and scoring).
+	forwardLatency *metrics.Histogram
+	// drainWait is how long each migration waited for in-flight segments.
+	drainWait *metrics.Histogram
+
+	perNode map[string]*metrics.Counter // segments forwarded, by node
+}
+
+func newRouterMetrics(r *Router) *routerMetrics {
+	reg := metrics.NewRegistry()
+	m := &routerMetrics{
+		reg:         reg,
+		segments:    reg.Counter("aovlisr_segments_total", "observation lines accepted from clients"),
+		responses:   reg.Counter("aovlisr_responses_total", "decision lines returned to clients"),
+		rejected:    reg.Counter("aovlisr_rejected_lines_total", "lines answered with a rejected decision (node overload)"),
+		errored:     reg.Counter("aovlisr_error_lines_total", "lines answered with an error decision"),
+		resubmitted: reg.Counter("aovlisr_resubmitted_total", "lines re-sent to a new owner after an upstream failure"),
+		rotations:   reg.Counter("aovlisr_upstream_rotations_total", "upstream connection rotations (ownership change or reconnect)"),
+		streams429:  reg.Counter("aovlisr_streams_rejected_total", "observe streams answered 429 with the node's Retry-After relayed"),
+		migrations:  reg.Counter("aovlisr_migrations_total", "completed live channel migrations"),
+		migrateFail: reg.Counter("aovlisr_migrations_failed_total", "aborted channel migrations (ownership unchanged)"),
+		failovers:   reg.Counter("aovlisr_failovers_total", "node-death failover events"),
+		failedOver:  reg.Counter("aovlisr_failover_channels_total", "channels re-placed onto survivors by failover"),
+		restored:    reg.Counter("aovlisr_failover_restored_total", "failover channels warm-restored from a shared-dir checkpoint"),
+		forwardLatency: reg.Histogram("aovlisr_forward_latency_seconds",
+			"per-segment send-to-acknowledge latency through a node",
+			metrics.ExpBuckets(50e-6, 2, 16)),
+		drainWait: reg.Histogram("aovlisr_migrate_drain_seconds",
+			"time each migration spent draining in-flight segments",
+			metrics.ExpBuckets(1e-4, 4, 10)),
+		perNode: make(map[string]*metrics.Counter, len(r.nodes)),
+	}
+	reg.GaugeFunc("aovlisr_channels", "channels with routed placement", func() int64 {
+		return int64(len(r.tbl.snapshot()))
+	})
+	for _, n := range r.nodes {
+		n := n
+		labels := metrics.Labels(map[string]string{"node": n.Spec.Name})
+		m.perNode[n.Spec.Name] = reg.CounterWith("aovlisr_node_segments_total", labels,
+			"segments forwarded, by node")
+		reg.GaugeFuncWith("aovlisr_node_alive", labels,
+			"1 when the node passes health probes", func() int64 {
+				if n.Alive() {
+					return 1
+				}
+				return 0
+			})
+		reg.GaugeFuncWith("aovlisr_node_channels", labels,
+			"channels currently placed on the node", func() int64 { return n.Owned() })
+	}
+	return m
+}

@@ -1,0 +1,219 @@
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// NodeSpec describes one aovlisd process in the fleet as configured on the
+// router command line.
+type NodeSpec struct {
+	// Name is the stable identity the ring hashes — it must survive process
+	// restarts (placement follows the name, not the address).
+	Name string
+	// URL is the node's base address, e.g. http://127.0.0.1:7601.
+	URL string
+	// SnapshotDir, when non-empty, is the node's -snapshot-dir as seen from
+	// the ROUTER's filesystem. Failover warm-restores the node's channels
+	// from the manifest committed there; without it a failed node's
+	// channels restart cold on their new owners.
+	SnapshotDir string
+}
+
+// ParseNodeSpecs parses the -nodes flag syntax:
+// "name=url[=snapshotdir],name=url[=snapshotdir],...".
+func ParseNodeSpecs(s string) ([]NodeSpec, error) {
+	var specs []NodeSpec
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		fields := strings.SplitN(part, "=", 3)
+		if len(fields) < 2 || fields[0] == "" || fields[1] == "" {
+			return nil, fmt.Errorf("cluster: bad node spec %q (want name=url or name=url=snapshotdir)", part)
+		}
+		spec := NodeSpec{Name: fields[0], URL: strings.TrimSuffix(fields[1], "/")}
+		if len(fields) == 3 {
+			spec.SnapshotDir = fields[2]
+		}
+		specs = append(specs, spec)
+	}
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("cluster: no node specs in %q", s)
+	}
+	return specs, nil
+}
+
+// Node is the router's live view of one aovlisd process: its spec plus
+// health state maintained by the prober and an owned-channel gauge
+// maintained by placement.
+type Node struct {
+	Spec   NodeSpec
+	client *http.Client
+
+	// alive is flipped by the health monitor (and by failover). A dead
+	// node takes no new placements and its channels move to survivors.
+	alive atomic.Bool
+	// consecFails counts consecutive probe failures; FailAfter of them
+	// declare the node dead.
+	consecFails atomic.Int32
+	// owned counts channels currently placed on this node (the ring's
+	// bounded-load input).
+	owned atomic.Int64
+	// lastSnapshotAge mirrors the node's /healthz last_snapshot_age_seconds
+	// (-1 when unknown/never), for operators reading /cluster/nodes.
+	lastSnapshotAge atomic.Int64
+}
+
+func newNode(spec NodeSpec, client *http.Client) *Node {
+	n := &Node{Spec: spec, client: client}
+	n.alive.Store(true)
+	n.lastSnapshotAge.Store(-1)
+	return n
+}
+
+// Alive reports whether the node is currently considered healthy.
+func (n *Node) Alive() bool { return n.alive.Load() }
+
+// Owned reports how many channels are currently placed on the node.
+func (n *Node) Owned() int64 { return n.owned.Load() }
+
+// observeURL returns the node's observe endpoint for a channel.
+func (n *Node) observeURL(id string) string {
+	return n.Spec.URL + "/channels/" + id + "/observe"
+}
+
+// healthResponse is the subset of the node /healthz payload the router
+// reads.
+type healthResponse struct {
+	Status          string `json:"status"`
+	NodeID          string `json:"node_id"`
+	LastSnapshotAge *int   `json:"last_snapshot_age_seconds"`
+}
+
+// probe performs one health check with the given timeout. A nil error
+// means the node answered 200 with status "ok"; the snapshot-age gauge is
+// refreshed as a side effect. When the node reports a node_id that
+// disagrees with the configured name, the probe fails — routing segments
+// to an imposter process (stale port reuse) would silently split channel
+// state.
+func (n *Node) probe(timeout time.Duration) error {
+	req, err := http.NewRequest(http.MethodGet, n.Spec.URL+"/healthz", nil)
+	if err != nil {
+		return err
+	}
+	client := *n.client
+	client.Timeout = timeout
+	resp, err := client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer drainClose(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("cluster: node %s: /healthz status %d", n.Spec.Name, resp.StatusCode)
+	}
+	var h healthResponse
+	if err := decodeJSONLimited(resp.Body, &h); err != nil {
+		return fmt.Errorf("cluster: node %s: bad /healthz payload: %w", n.Spec.Name, err)
+	}
+	if h.Status != "ok" {
+		return fmt.Errorf("cluster: node %s: health status %q", n.Spec.Name, h.Status)
+	}
+	if h.NodeID != "" && h.NodeID != n.Spec.Name {
+		return fmt.Errorf("cluster: node %s: /healthz reports node_id %q", n.Spec.Name, h.NodeID)
+	}
+	if h.LastSnapshotAge != nil {
+		n.lastSnapshotAge.Store(int64(*h.LastSnapshotAge))
+	} else {
+		n.lastSnapshotAge.Store(-1)
+	}
+	return nil
+}
+
+// exportSnapshot opens the channel's export stream (GET snapshot). The
+// caller owns the returned body. A 404 is surfaced as errNoChannelState so
+// migration can treat "nothing to move" as success.
+func (n *Node) exportSnapshot(id string) (io.ReadCloser, error) {
+	resp, err := n.client.Get(n.Spec.URL + "/channels/" + id + "/snapshot")
+	if err != nil {
+		return nil, fmt.Errorf("cluster: exporting %q from %s: %w", id, n.Spec.Name, err)
+	}
+	switch resp.StatusCode {
+	case http.StatusOK:
+		return resp.Body, nil
+	case http.StatusNotFound:
+		drainClose(resp.Body)
+		return nil, errNoChannelState
+	default:
+		msg := readErrorBody(resp.Body)
+		return nil, fmt.Errorf("cluster: exporting %q from %s: status %d: %s", id, n.Spec.Name, resp.StatusCode, msg)
+	}
+}
+
+// putSnapshot imports a channel snapshot stream (PUT snapshot).
+func (n *Node) putSnapshot(id string, body io.Reader) error {
+	req, err := http.NewRequest(http.MethodPut, n.Spec.URL+"/channels/"+id+"/snapshot", body)
+	if err != nil {
+		return err
+	}
+	resp, err := n.client.Do(req)
+	if err != nil {
+		return fmt.Errorf("cluster: importing %q into %s: %w", id, n.Spec.Name, err)
+	}
+	defer drainClose(resp.Body)
+	if resp.StatusCode != http.StatusCreated {
+		msg := readErrorBody(resp.Body)
+		return fmt.Errorf("cluster: importing %q into %s: status %d: %s", id, n.Spec.Name, resp.StatusCode, msg)
+	}
+	return nil
+}
+
+// deleteChannel detaches a channel from the node. 404 counts as success
+// (the desired end state holds).
+func (n *Node) deleteChannel(id string) error {
+	req, err := http.NewRequest(http.MethodDelete, n.Spec.URL+"/channels/"+id, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := n.client.Do(req)
+	if err != nil {
+		return fmt.Errorf("cluster: detaching %q from %s: %w", id, n.Spec.Name, err)
+	}
+	defer drainClose(resp.Body)
+	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusNotFound {
+		msg := readErrorBody(resp.Body)
+		return fmt.Errorf("cluster: detaching %q from %s: status %d: %s", id, n.Spec.Name, resp.StatusCode, msg)
+	}
+	return nil
+}
+
+// errNoChannelState marks a migration source that has no state for the
+// channel (never streamed, or already detached) — the move degenerates to
+// an ownership flip.
+var errNoChannelState = fmt.Errorf("cluster: channel has no exportable state")
+
+// drainClose consumes and closes a response body so the underlying
+// connection returns to the pool instead of being torn down.
+func drainClose(body io.ReadCloser) {
+	io.Copy(io.Discard, io.LimitReader(body, 64<<10))
+	body.Close()
+}
+
+// readErrorBody captures a bounded error message then closes the body.
+func readErrorBody(body io.ReadCloser) string {
+	defer body.Close()
+	b, _ := io.ReadAll(io.LimitReader(body, 4<<10))
+	return strings.TrimSpace(string(b))
+}
+
+// decodeJSONLimited decodes a bounded JSON payload (health probes should
+// never stream megabytes).
+func decodeJSONLimited(r io.Reader, v interface{}) error {
+	return json.NewDecoder(io.LimitReader(r, 1<<20)).Decode(v)
+}

@@ -1,0 +1,270 @@
+package cluster
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+
+	"aovlis/internal/snapshot"
+)
+
+// Move records one channel relocation in a rebalance or failover report.
+type Move struct {
+	Channel string `json:"channel"`
+	From    string `json:"from"`
+	To      string `json:"to"`
+	// Warm is true when the channel's runtime state travelled with it
+	// (live export/import, or a checkpoint restore during failover);
+	// false means the channel restarts cold on the new owner.
+	Warm  bool   `json:"warm"`
+	Error string `json:"error,omitempty"`
+}
+
+// RebalanceReport summarises one rebalance pass.
+type RebalanceReport struct {
+	Considered int    `json:"considered"`
+	Moved      int    `json:"moved"`
+	Failed     int    `json:"failed"`
+	Moves      []Move `json:"moves,omitempty"`
+}
+
+// Rebalance recomputes the canonical bounded-load placement of every
+// routed channel over the currently-alive fleet and live-migrates each
+// misplaced channel to its canonical owner:
+//
+//	drain    — entry enters the migrating state; streams stop pushing and
+//	           acknowledge their in-flight segments (beginMigrate returns
+//	           once inflight = 0, so everything accepted so far is inside
+//	           the export)
+//	export   — GET /channels/{id}/snapshot from the old owner (quiesces
+//	           the channel server-side)
+//	import   — PUT /channels/{id}/snapshot on the new owner (the id-match
+//	           guard in serve.AttachSnapshot makes crossed streams a 400,
+//	           not silent state corruption)
+//	detach   — DELETE /channels/{id} on the old owner
+//	flip     — entry republishes with the new owner and a bumped epoch;
+//	           parked streams rotate their connections and continue
+//
+// Any failure before the flip aborts that channel's move with ownership
+// unchanged (the import is verified before the old copy is detached, so
+// state never exists in zero places). Rebalance serialises with failover
+// under topoMu.
+func (r *Router) Rebalance() (RebalanceReport, error) {
+	r.topoMu.Lock()
+	defer r.topoMu.Unlock()
+
+	entries := r.tbl.snapshot()
+	ids := make([]string, 0, len(entries))
+	for id := range entries {
+		ids = append(ids, id)
+	}
+	rep := RebalanceReport{Considered: len(ids)}
+	if len(ids) == 0 {
+		return rep, nil
+	}
+	ring := r.ring.Load()
+	target, err := ring.PlaceAll(ids)
+	if err != nil {
+		return rep, err
+	}
+	for _, id := range sortedKeys(target) {
+		e := entries[id]
+		cur, _, _ := e.state()
+		wantName := target[id]
+		if cur.Spec.Name == wantName {
+			continue
+		}
+		if !cur.Alive() {
+			// Dead owners are the failover path's job, not rebalance's.
+			continue
+		}
+		to := r.byName[wantName]
+		mv := r.moveChannel(e, to)
+		rep.Moves = append(rep.Moves, mv)
+		if mv.Error == "" {
+			rep.Moved++
+		} else {
+			rep.Failed++
+		}
+	}
+	return rep, nil
+}
+
+// moveChannel performs one drained live migration. Callers hold topoMu.
+func (r *Router) moveChannel(e *entry, to *Node) Move {
+	drainStart := time.Now()
+	from, ok := e.beginMigrate()
+	if !ok {
+		return Move{Channel: e.id, To: to.Spec.Name, Error: "migration already in progress"}
+	}
+	r.m.drainWait.Observe(time.Since(drainStart).Seconds())
+	mv := Move{Channel: e.id, From: from.Spec.Name, To: to.Spec.Name}
+
+	export, err := from.exportSnapshot(e.id)
+	switch {
+	case err == errNoChannelState:
+		// Nothing to carry: the flip alone completes the move and the new
+		// owner cold-starts the channel from its template on first use.
+		e.finishMigrate(to)
+		r.m.migrations.Inc()
+		return mv
+	case err != nil:
+		e.finishMigrate(nil)
+		r.m.migrateFail.Inc()
+		mv.Error = err.Error()
+		return mv
+	}
+	err = to.putSnapshot(e.id, export)
+	export.Close()
+	if err != nil {
+		e.finishMigrate(nil)
+		r.m.migrateFail.Inc()
+		mv.Error = err.Error()
+		return mv
+	}
+	// The new owner has verified state; the old copy is now redundant. A
+	// detach failure is logged but does not abort the flip — routing
+	// moves on either way and the stale copy receives no further traffic.
+	if err := from.deleteChannel(e.id); err != nil {
+		r.cfg.Logf("cluster: post-migration detach of %q from %s: %v", e.id, from.Spec.Name, err)
+	}
+	e.finishMigrate(to)
+	r.m.migrations.Inc()
+	mv.Warm = true
+	return mv
+}
+
+// FailoverReport summarises one node-death failover.
+type FailoverReport struct {
+	Node     string `json:"node"`
+	Channels int    `json:"channels"`
+	Warm     int    `json:"warm"`
+	Cold     int    `json:"cold"`
+	Moves    []Move `json:"moves,omitempty"`
+}
+
+// FailNode marks a node dead and re-places every channel it owned onto
+// the survivors. For each channel the router first warm-restores the last
+// checkpoint from the dead node's shared -snapshot-dir (when configured
+// and the manifest names the channel), THEN flips ownership — so a parked
+// stream that rotates onto the new owner finds the restored window rather
+// than racing the restore. Channels without a usable checkpoint cold-start
+// from the node template on the new owner.
+//
+// Unlike a rebalance there is no drain — the dead node can acknowledge
+// nothing — so ownership flips forcibly: streams detect the bumped epoch
+// (or their broken connection) and resubmit every unacknowledged segment
+// to the new owner. Segments the dead node acknowledged AFTER its last
+// checkpoint are lost from model state; that is the documented
+// at-least-last-checkpoint consistency bound.
+func (r *Router) FailNode(name string) error {
+	r.topoMu.Lock()
+	defer r.topoMu.Unlock()
+
+	n := r.byName[name]
+	if n == nil {
+		return fmt.Errorf("cluster: unknown node %q", name)
+	}
+	if !n.Alive() {
+		return nil
+	}
+	n.alive.Store(false)
+	if err := r.rebuildRing(); err != nil {
+		// No survivors: leave the node marked dead; streams fail their
+		// segments with error lines when the failover budget runs out.
+		return err
+	}
+	r.m.failovers.Inc()
+
+	// Channels owned by the dead node, re-placed canonically over the
+	// survivor ring.
+	var orphans []string
+	entries := r.tbl.snapshot()
+	for id, e := range entries {
+		if owner, _, _ := e.state(); owner == n {
+			orphans = append(orphans, id)
+		}
+	}
+	rep := FailoverReport{Node: name, Channels: len(orphans)}
+	if len(orphans) == 0 {
+		r.cfg.Logf("cluster: node %s failed over (owned no channels)", name)
+		return nil
+	}
+	ring := r.ring.Load()
+	target, err := ring.PlaceAll(orphans)
+	if err != nil {
+		return err
+	}
+	checkpoints := r.checkpointIndex(n)
+	for _, id := range sortedKeys(target) {
+		to := r.byName[target[id]]
+		mv := Move{Channel: id, From: name, To: to.Spec.Name}
+		if file, ok := checkpoints[id]; ok {
+			if err := r.restoreFromFile(to, id, file); err != nil {
+				r.cfg.Logf("cluster: failover restore of %q onto %s: %v (cold start)", id, to.Spec.Name, err)
+				mv.Error = err.Error()
+			} else {
+				mv.Warm = true
+				rep.Warm++
+				r.m.restored.Inc()
+			}
+		}
+		if !mv.Warm {
+			rep.Cold++
+		}
+		entries[id].forceFlip(to)
+		r.m.failedOver.Inc()
+		rep.Moves = append(rep.Moves, mv)
+	}
+	r.cfg.Logf("cluster: node %s failed over: %d channels re-placed (%d warm, %d cold)",
+		name, rep.Channels, rep.Warm, rep.Cold)
+	return nil
+}
+
+// checkpointIndex reads the dead node's shared snapshot directory manifest
+// and returns channel → verified snapshot file path. Missing dir, missing
+// manifest or corrupt entries degrade to cold starts, never to errors.
+func (r *Router) checkpointIndex(n *Node) map[string]string {
+	dir := n.Spec.SnapshotDir
+	if dir == "" {
+		return nil
+	}
+	man, err := snapshot.ReadManifest(dir)
+	if err != nil {
+		r.cfg.Logf("cluster: no usable checkpoint manifest for %s in %s: %v", n.Spec.Name, dir, err)
+		return nil
+	}
+	out := make(map[string]string, len(man.Channels))
+	for _, ce := range man.Channels {
+		if err := snapshot.VerifyEntry(dir, ce); err != nil {
+			r.cfg.Logf("cluster: checkpoint for %q fails verification: %v", ce.ID, err)
+			continue
+		}
+		out[ce.ID] = filepath.Join(dir, ce.File)
+	}
+	return out
+}
+
+// restoreFromFile uploads a checkpoint file as the channel's state on the
+// new owner.
+func (r *Router) restoreFromFile(to *Node, id, path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return to.putSnapshot(id, f)
+}
+
+// sortedKeys returns a map's keys in sorted order so reports and restore
+// sequences are deterministic.
+func sortedKeys(m map[string]string) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,242 @@
+package cluster
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// stubNode is an in-process aovlisd stand-in for router tests: it speaks
+// the channel API (observe/stats/snapshot/detach/healthz) with a trivial
+// "model" — each channel is a monotone counter, and every decision's
+// score encodes (node seed, lifetime position), so a test can read back
+// exactly which node scored a segment and whether state travelled with a
+// migration. The multi-process soak pins the router against the real
+// daemon; these stubs pin the router's own logic with controllable
+// failure modes (reject, die) that the real daemon cannot produce on cue.
+type stubNode struct {
+	name string
+	seed float64
+	srv  *httptest.Server
+
+	reject     atomic.Bool  // 429 + Retry-After on new observe streams
+	retryAfter atomic.Int32 // Retry-After seconds advertised with the 429 (0: omit the header)
+	sick       atomic.Bool  // /healthz answers 500
+	fail500    atomic.Bool  // observe answers 500 (broken-node, not overload)
+
+	mu       sync.Mutex
+	channels map[string]*stubChannel
+}
+
+type stubChannel struct {
+	observed int
+}
+
+// stubState is the stub's "snapshot" wire format: JSON, opaque to the
+// router, carrying the counter that proves state continuity.
+type stubState struct {
+	ID       string `json:"id"`
+	Observed int    `json:"observed"`
+}
+
+func newStubNode(t *testing.T, name string, seed float64) *stubNode {
+	t.Helper()
+	s := &stubNode{name: name, seed: seed, channels: map[string]*stubChannel{}}
+	s.retryAfter.Store(7)
+	s.srv = httptest.NewUnstartedServer(s.handler())
+	// The router aborts forward requests mid-body on failover retries;
+	// net/http recovers the resulting conn.serve panics but logs each one.
+	// That noise is expected stub lifecycle, not a test signal.
+	s.srv.Config.ErrorLog = log.New(io.Discard, "", 0)
+	s.srv.Start()
+	t.Cleanup(s.srv.Close)
+	return s
+}
+
+func (s *stubNode) spec() NodeSpec {
+	return NodeSpec{Name: s.name, URL: s.srv.URL}
+}
+
+func (s *stubNode) observedCount(id string) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if c := s.channels[id]; c != nil {
+		return c.observed
+	}
+	return -1
+}
+
+func (s *stubNode) hasChannel(id string) bool { return s.observedCount(id) >= 0 }
+
+func (s *stubNode) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		if s.sick.Load() {
+			http.Error(w, "sick", http.StatusInternalServerError)
+			return
+		}
+		age := 3
+		json.NewEncoder(w).Encode(map[string]interface{}{
+			"status": "ok", "node_id": s.name, "last_snapshot_age_seconds": age,
+		})
+	})
+	mux.HandleFunc("/channels", func(w http.ResponseWriter, r *http.Request) {
+		s.mu.Lock()
+		out := make(map[string]stubState, len(s.channels))
+		for id, c := range s.channels {
+			out[id] = stubState{ID: id, Observed: c.observed}
+		}
+		s.mu.Unlock()
+		json.NewEncoder(w).Encode(out)
+	})
+	mux.HandleFunc("/channels/", s.handleChannel)
+	return mux
+}
+
+func (s *stubNode) handleChannel(w http.ResponseWriter, r *http.Request) {
+	rest := strings.TrimPrefix(r.URL.Path, "/channels/")
+	id, verb, ok := strings.Cut(rest, "/")
+	if !ok {
+		if id != "" && r.Method == http.MethodDelete {
+			s.mu.Lock()
+			_, exists := s.channels[id]
+			delete(s.channels, id)
+			s.mu.Unlock()
+			if !exists {
+				http.Error(w, "unknown channel", http.StatusNotFound)
+				return
+			}
+			fmt.Fprintln(w, "detached")
+			return
+		}
+		http.NotFound(w, r)
+		return
+	}
+	switch verb {
+	case "observe":
+		s.handleObserve(w, r, id)
+	case "stats":
+		s.mu.Lock()
+		c := s.channels[id]
+		s.mu.Unlock()
+		if c == nil {
+			http.Error(w, "unknown channel", http.StatusNotFound)
+			return
+		}
+		json.NewEncoder(w).Encode(stubState{ID: id, Observed: c.observed})
+	case "snapshot":
+		s.handleSnapshot(w, r, id)
+	default:
+		http.NotFound(w, r)
+	}
+}
+
+func (s *stubNode) handleObserve(w http.ResponseWriter, r *http.Request, id string) {
+	// Full duplex before any early return, like the real daemon: a rejecting
+	// node must not block post-handler draining the router's open pipe.
+	if err := http.NewResponseController(w).EnableFullDuplex(); err != nil && r.ProtoMajor == 1 {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	if s.fail500.Load() {
+		http.Error(w, "stub exploded", http.StatusInternalServerError)
+		return
+	}
+	if s.reject.Load() {
+		if ra := s.retryAfter.Load(); ra > 0 {
+			w.Header().Set("Retry-After", fmt.Sprint(ra))
+		}
+		http.Error(w, "stub overloaded", http.StatusTooManyRequests)
+		return
+	}
+	s.mu.Lock()
+	if s.channels[id] == nil {
+		s.channels[id] = &stubChannel{}
+	}
+	s.mu.Unlock()
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	sc := bufio.NewScanner(r.Body)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	seq := 0
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		d := Decision{Channel: id, Seq: seq, Exact: true}
+		var obs struct {
+			Action []float64 `json:"action"`
+		}
+		if err := json.Unmarshal([]byte(line), &obs); err != nil || len(obs.Action) == 0 {
+			d.Error = "bad observation line"
+		} else {
+			s.mu.Lock()
+			c := s.channels[id]
+			c.observed++
+			// Score encodes (node, lifetime position): tests decode it to
+			// prove which node scored a segment and that migrations carried
+			// the counter.
+			d.Score = s.seed*1000 + float64(c.observed)
+			s.mu.Unlock()
+		}
+		enc.Encode(d)
+		if flusher != nil {
+			flusher.Flush()
+		}
+		seq++
+	}
+}
+
+func (s *stubNode) handleSnapshot(w http.ResponseWriter, r *http.Request, id string) {
+	switch r.Method {
+	case http.MethodGet:
+		s.mu.Lock()
+		c := s.channels[id]
+		s.mu.Unlock()
+		if c == nil {
+			http.Error(w, "unknown channel", http.StatusNotFound)
+			return
+		}
+		json.NewEncoder(w).Encode(stubState{ID: id, Observed: c.observed})
+	case http.MethodPut:
+		var st stubState
+		if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&st); err != nil {
+			http.Error(w, "bad snapshot: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		// Mirror the daemon's id-mismatch guard (satellite 2): a stream
+		// exported for another channel is a 400.
+		if st.ID != "" && st.ID != id {
+			http.Error(w, fmt.Sprintf("snapshot exports %q, attaching as %q", st.ID, id), http.StatusBadRequest)
+			return
+		}
+		s.mu.Lock()
+		_, exists := s.channels[id]
+		if !exists {
+			s.channels[id] = &stubChannel{observed: st.Observed}
+		}
+		s.mu.Unlock()
+		if exists {
+			http.Error(w, "channel exists", http.StatusConflict)
+			return
+		}
+		w.WriteHeader(http.StatusCreated)
+	default:
+		http.Error(w, "snapshot wants GET or PUT", http.StatusMethodNotAllowed)
+	}
+}
+
+// scoreNode decodes which stub seed produced a decision score.
+func scoreNode(score float64) int { return int(score) / 1000 }
+
+// scorePos decodes the lifetime position encoded in a decision score.
+func scorePos(score float64) int { return int(score) % 1000 }

@@ -25,7 +25,9 @@ package serve
 // §9.
 
 import (
+	"bufio"
 	"bytes"
+	"encoding/gob"
 	"errors"
 	"fmt"
 	"io"
@@ -52,6 +54,13 @@ type Snapshotter interface {
 // ErrNotSnapshottable is returned by ExportChannel when the channel's
 // detector does not implement Snapshotter.
 var ErrNotSnapshottable = errors.New("serve: detector does not implement Snapshotter")
+
+// ErrChannelIDMismatch is returned by AttachSnapshot when the uploaded
+// stream's embedded channel-export manifest names a different channel than
+// the one the caller is attaching — almost always a mis-addressed migration
+// PUT. Rejecting it up front keeps a channel's runtime from silently
+// continuing under another channel's id (the daemon maps it to HTTP 400).
+var ErrChannelIDMismatch = errors.New("serve: snapshot channel id does not match attach id")
 
 // Report summarises one pool snapshot.
 type Report struct {
@@ -224,9 +233,20 @@ func (p *DetectorPool) Snapshot(dir string) (Report, error) {
 	return report, nil
 }
 
+// channelExportWire is the identity manifest serve.ExportChannel prepends
+// (inside a KindChannelExport envelope) ahead of the detector snapshot, so
+// the importing side can verify the stream belongs to the channel it is
+// being attached under before restoring anything.
+type channelExportWire struct {
+	ID string
+}
+
 // ExportChannel streams one channel's quiesced snapshot to w — the sending
 // half of channel migration: export from one pool, AttachSnapshot into
-// another (possibly in a different process).
+// another (possibly in a different process). The stream opens with a
+// channel-export envelope naming the channel id; AttachSnapshot rejects an
+// id mismatch with ErrChannelIDMismatch instead of attaching a foreign
+// channel's runtime under the wrong id.
 func (p *DetectorPool) ExportChannel(id string, w io.Writer) error {
 	ch, ok := p.lookup(id)
 	if !ok {
@@ -240,6 +260,12 @@ func (p *DetectorPool) ExportChannel(id string, w io.Writer) error {
 	if err != nil {
 		return err
 	}
+	if err := snapshot.WriteHeader(w, snapshot.KindChannelExport); err != nil {
+		return err
+	}
+	if err := gob.NewEncoder(w).Encode(channelExportWire{ID: id}); err != nil {
+		return fmt.Errorf("serve: encoding channel export manifest: %w", err)
+	}
 	_, err = w.Write(buf.Bytes())
 	return err
 }
@@ -248,12 +274,56 @@ func (p *DetectorPool) ExportChannel(id string, w io.Writer) error {
 // and attaches it under id — the receiving half of channel migration. The
 // restored channel resumes mid-window exactly where the exported one
 // stopped.
+//
+// Two stream formats are accepted: a channel-export wrapper (ExportChannel
+// emits it; the embedded channel id must equal id or the attach fails with
+// ErrChannelIDMismatch) and a bare detector snapshot (pool checkpoint files
+// and pre-export-envelope clients), which carries no id to verify.
 func (p *DetectorPool) AttachSnapshot(id string, r io.Reader) error {
-	det, err := aovlis.RestoreDetector(r)
+	exportedID, det, err := DecodeChannelExport(r)
 	if err != nil {
 		return err
 	}
+	if exportedID != "" && exportedID != id {
+		return fmt.Errorf("%w: stream exports %q, attaching as %q", ErrChannelIDMismatch, exportedID, id)
+	}
 	return p.Attach(id, det)
+}
+
+// DecodeChannelExport restores a detector from either stream format
+// AttachSnapshot accepts. The returned id is the channel id named by the
+// stream's channel-export manifest, or "" for a bare detector snapshot
+// (which carries no identity).
+func DecodeChannelExport(r io.Reader) (string, *aovlis.Detector, error) {
+	br, ok := r.(*bufio.Reader)
+	if !ok {
+		br = bufio.NewReader(r)
+	}
+	// Dispatch on the envelope kind without consuming it: the header is
+	// decoded from a peeked prefix, so a bare detector stream can still be
+	// handed to RestoreDetector from the start.
+	var exportedID string
+	if prefix, _ := br.Peek(1024); len(prefix) > 0 {
+		var hdr snapshot.Header
+		if err := gob.NewDecoder(bytes.NewReader(prefix)).Decode(&hdr); err == nil && hdr.Kind == snapshot.KindChannelExport {
+			if _, err := snapshot.ReadHeaderAny(br); err != nil {
+				return "", nil, err
+			}
+			var wire channelExportWire
+			if err := gob.NewDecoder(br).Decode(&wire); err != nil {
+				return "", nil, fmt.Errorf("serve: decoding channel export manifest: %w", err)
+			}
+			if wire.ID == "" {
+				return "", nil, fmt.Errorf("serve: channel export manifest names no channel id")
+			}
+			exportedID = wire.ID
+		}
+	}
+	det, err := aovlis.RestoreDetector(br)
+	if err != nil {
+		return "", nil, err
+	}
+	return exportedID, det, nil
 }
 
 // RestorePool rebuilds a pool from a Snapshot directory: it verifies every

@@ -241,10 +241,14 @@ func TestChannelMigration(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Reference: a second restore of the same wire, driven next to the
-	// migrated one.
-	ref, err := aovlis.RestoreDetector(bytes.NewReader(wire.Bytes()))
+	// migrated one. The export stream opens with the channel-identity
+	// envelope, so the generic decoder must surface the exported id too.
+	refID, ref, err := DecodeChannelExport(bytes.NewReader(wire.Bytes()))
 	if err != nil {
 		t.Fatal(err)
+	}
+	if refID != "mover" {
+		t.Fatalf("export stream names channel %q, want mover", refID)
 	}
 	for i := 20; i < 40; i++ {
 		want, err := ref.Observe(act[i], aud[i])
@@ -258,6 +262,50 @@ func TestChannelMigration(t *testing.T) {
 		if !sameResult(want, have) {
 			t.Fatalf("migrated channel diverged at step %d", i)
 		}
+	}
+}
+
+// TestAttachSnapshotIDMismatch pins the migration-addressing guard: a PUT
+// of channel A's export under channel B's id must fail up front with the
+// typed mismatch error, not attach A's runtime as B (ISSUE 8 satellite).
+func TestAttachSnapshotIDMismatch(t *testing.T) {
+	tmpl := trainTemplate(t)
+	src := newTestPool(t, Config{Shards: 1, QueueDepth: 16, Policy: Block})
+	dst := newTestPool(t, Config{Shards: 1, QueueDepth: 16, Policy: Block})
+	det, err := tmpl.Clone()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := src.Attach("alice", det); err != nil {
+		t.Fatal(err)
+	}
+	var wire bytes.Buffer
+	if err := src.ExportChannel("alice", &wire); err != nil {
+		t.Fatal(err)
+	}
+	err = dst.AttachSnapshot("bob", bytes.NewReader(wire.Bytes()))
+	if !errors.Is(err, ErrChannelIDMismatch) {
+		t.Fatalf("mismatched attach = %v, want ErrChannelIDMismatch", err)
+	}
+	if _, err := dst.Stats("bob"); !errors.Is(err, ErrUnknownChannel) {
+		t.Fatal("mismatched attach must not create the channel")
+	}
+	// The same stream attaches cleanly under its own id, and a bare
+	// detector snapshot (no identity envelope — pool checkpoint files)
+	// stays attachable under any id.
+	if err := dst.AttachSnapshot("alice", bytes.NewReader(wire.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	bareID, bare, err := DecodeChannelExport(bytes.NewReader(wire.Bytes()))
+	if err != nil || bareID != "alice" {
+		t.Fatalf("DecodeChannelExport = (%q, %v)", bareID, err)
+	}
+	var plain bytes.Buffer
+	if err := bare.Snapshot(&plain); err != nil {
+		t.Fatal(err)
+	}
+	if err := dst.AttachSnapshot("carol", bytes.NewReader(plain.Bytes())); err != nil {
+		t.Fatalf("bare detector snapshot under a new id: %v", err)
 	}
 }
 

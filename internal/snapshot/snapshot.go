@@ -51,6 +51,10 @@ const (
 	KindModel      = "core.Model"
 	KindMultiModel = "core.MultiModel"
 	KindDetector   = "aovlis.Detector"
+	// KindChannelExport wraps a KindDetector stream with a channel-identity
+	// manifest (serve.ExportChannel emits it): the importer can reject a
+	// snapshot PUT to the wrong channel id before restoring anything.
+	KindChannelExport = "serve.ChannelExport"
 )
 
 // Header is the self-describing envelope at the head of every snapshot
@@ -87,6 +91,24 @@ func ReadHeader(r io.Reader, wantKind string) (Header, error) {
 	}
 	if h.Kind != wantKind {
 		return h, fmt.Errorf("snapshot: kind %q, want %q", h.Kind, wantKind)
+	}
+	return h, nil
+}
+
+// ReadHeaderAny decodes and validates the envelope without constraining the
+// artifact kind — for callers that dispatch on it (serve.AttachSnapshot
+// accepts both bare detector streams and channel-export wrappers). The
+// magic and version checks are identical to ReadHeader.
+func ReadHeaderAny(r io.Reader) (Header, error) {
+	var h Header
+	if err := gob.NewDecoder(r).Decode(&h); err != nil {
+		return h, fmt.Errorf("snapshot: decoding header: %w", err)
+	}
+	if h.Magic != Magic {
+		return h, fmt.Errorf("snapshot: bad magic %q (not an AOVLIS snapshot)", h.Magic)
+	}
+	if h.Version < 1 || h.Version > Version {
+		return h, fmt.Errorf("snapshot: version %d not in supported range [1, %d]", h.Version, Version)
 	}
 	return h, nil
 }

@@ -108,3 +108,17 @@ func TestSlosmokeMissingBaselineFails(t *testing.T) {
 		t.Fatalf("missing-marker diagnostic missing:\n%s", got)
 	}
 }
+
+// TestClustersmokeMissingBaselineFails pins the same preflight for the
+// cluster gate: a missing §8 marker must refuse loudly before spending
+// minutes spawning a fleet.
+func TestClustersmokeMissingBaselineFails(t *testing.T) {
+	bench := writeTemp(t, "BENCH.md", "no marker here\n")
+	got, err := runScript(t, "clustersmoke.sh", bench)
+	if err == nil {
+		t.Fatalf("clustersmoke passed without a baseline marker:\n%s", got)
+	}
+	if !strings.Contains(got, "no cluster-baseline marker") {
+		t.Fatalf("missing-marker diagnostic missing:\n%s", got)
+	}
+}
