@@ -18,6 +18,11 @@
 //	GET  /channels                all channels' counters as JSON
 //	POST /snapshot                with -snapshot-dir: checkpoint every
 //	                              channel now; returns the commit report
+//	GET  /ledger/root             with -ledger-dir: the verdict ledger's
+//	                              chained Merkle head (record it out-of-band,
+//	                              check it later with aovlisctl verify)
+//	GET  /ledger/proof/{seq}      Merkle inclusion proof for one committed
+//	                              verdict, verifiable offline
 //	GET  /healthz                 liveness + pool totals
 //	GET  /metrics                 Prometheus text exposition: per-stage
 //	                              latency histograms, throughput counters,
@@ -32,6 +37,14 @@
 // sliding windows, thresholds and pending update samples included — so
 // detection resumes exactly where the previous process stopped instead of
 // cold-starting every window (ARCHITECTURE.md §9, README "Operations").
+//
+// Adding -wal-dir closes the gap between checkpoints: every accepted
+// observation is fsynced to an append-only journal before it is queued, and
+// boot replays the journal tail above each channel's checkpointed floor, so
+// even a kill -9 loses zero acknowledged segments. -ledger-dir additionally
+// appends every non-warmup verdict to a Merkle-batched hash chain whose
+// head is served at /ledger/root and whose per-verdict inclusion proofs are
+// verifiable offline with aovlisctl (ARCHITECTURE.md §14).
 //
 // Usage:
 //
@@ -60,6 +73,7 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -68,9 +82,12 @@ import (
 
 	"aovlis"
 	"aovlis/internal/dataset"
+	"aovlis/internal/ledger"
+	"aovlis/internal/metrics"
 	"aovlis/internal/serve"
 	"aovlis/internal/snapshot"
 	"aovlis/internal/synth"
+	"aovlis/internal/wal"
 )
 
 // options collects the daemon's command-line configuration.
@@ -99,6 +116,9 @@ type options struct {
 	snapshotDir   string
 	snapshotEvery time.Duration
 	nodeID        string
+	walDir        string
+	ledgerDir     string
+	ledgerBatch   int
 }
 
 // admissionConfig assembles the pool's admission control from the flags.
@@ -138,6 +158,9 @@ func main() {
 	flag.StringVar(&o.snapshotDir, "snapshot-dir", "", "crash-safe checkpoint directory: restore channels from it on boot, checkpoint into it periodically, on POST /snapshot and on graceful shutdown")
 	flag.DurationVar(&o.snapshotEvery, "snapshot-every", 0, "with -snapshot-dir: checkpoint every channel at this interval (0 disables periodic snapshots)")
 	flag.StringVar(&o.nodeID, "node-id", "", "stable node identity reported by /healthz; an aovlisr router cross-checks it against its -nodes config so a stale port reuse can never masquerade as a fleet member")
+	flag.StringVar(&o.walDir, "wal-dir", "", "crash-proof ingest journal directory: every accepted observation is fsynced here before it is queued, and boot replays the journal tail so a kill -9 loses zero acknowledged segments (ARCHITECTURE.md §14)")
+	flag.StringVar(&o.ledgerDir, "ledger-dir", "", "tamper-evident verdict ledger directory: every non-warmup verdict is appended to a Merkle-batched hash chain served at GET /ledger/root and /ledger/proof/{seq}, verifiable offline with aovlisctl verify")
+	flag.IntVar(&o.ledgerBatch, "ledger-batch", ledger.DefaultBatchSize, "verdicts per committed ledger batch (each commit is one fsynced Merkle block)")
 	flag.Parse()
 
 	if err := run(o); err != nil {
@@ -178,6 +201,9 @@ func run(o options) error {
 	if o.snapshotEvery < 0 || (o.snapshotEvery > 0 && o.snapshotDir == "") {
 		return fmt.Errorf("-snapshot-every needs -snapshot-dir and a non-negative interval")
 	}
+	if o.ledgerBatch < 1 {
+		return fmt.Errorf("-ledger-batch must be at least 1")
+	}
 	template, err := buildTemplate(o)
 	if err != nil {
 		return err
@@ -190,6 +216,20 @@ func run(o options) error {
 
 	d := &daemon{pool: pool, template: template, maxChannels: o.maxChannels,
 		obsWindow: o.batch, snapshotDir: o.snapshotDir, nodeID: o.nodeID, started: time.Now()}
+
+	// Durability boot order (ARCHITECTURE.md §14): the snapshot restore
+	// already happened in buildPool; attach the verdict sink before replay
+	// (so replayed verdicts are ledgered too), replay the journal tail,
+	// then attach the journal — only after that may traffic start.
+	if err := d.openLedger(o); err != nil {
+		pool.Close()
+		return err
+	}
+	if err := d.openWAL(o); err != nil {
+		d.closeDurability()
+		pool.Close()
+		return err
+	}
 	srv := &http.Server{Addr: o.addr, Handler: d.handler(o.enablePprof, o.enableMetrics)}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -205,6 +245,7 @@ func run(o options) error {
 	select {
 	case err := <-errc:
 		pool.Close()
+		d.closeDurability()
 		return err
 	case <-ctx.Done():
 	}
@@ -224,7 +265,141 @@ func run(o options) error {
 			fmt.Printf("final snapshot: %d channels, %d bytes in %s\n", rep.Channels, rep.Bytes, rep.Elapsed)
 		}
 	}
-	return pool.Close()
+	// Pool first (stops the shard workers, so no append or verdict can
+	// race the closes), then the ledger (Close flushes the pending batch),
+	// then the journal.
+	err = pool.Close()
+	if derr := d.closeDurability(); err == nil {
+		err = derr
+	}
+	return err
+}
+
+// openLedger opens the verdict ledger and attaches it to the pool as the
+// verdict sink. Boot refuses a ledger that fails its own chain
+// verification — appending to a tampered or truncated chain would silently
+// launder it.
+func (d *daemon) openLedger(o options) error {
+	if o.ledgerDir == "" {
+		return nil
+	}
+	reg := d.pool.Metrics()
+	commits := reg.Counter("aovlis_ledger_commits_total",
+		"Committed Merkle batches appended to the verdict ledger.")
+	entries := reg.Counter("aovlis_ledger_entries_total",
+		"Verdicts committed to the ledger across all batches.")
+	led, err := ledger.Open(o.ledgerDir, ledger.Options{
+		BatchSize: o.ledgerBatch,
+		OnCommit:  func(n int) { commits.Inc(); entries.Add(uint64(n)) },
+	})
+	if err != nil {
+		return fmt.Errorf("opening verdict ledger %s: %w", o.ledgerDir, err)
+	}
+	d.ledger = led
+	d.pool.AttachVerdictSink(ledgerSink{led})
+	head := led.Root()
+	fmt.Printf("verdict ledger %s: %d batches, %d entries, head %.16s…\n",
+		o.ledgerDir, head.Batches, head.Entries, head.Chained)
+	return nil
+}
+
+// openWAL opens the ingest journal, replays its tail through the pool and
+// attaches it to the accept path. Records at or below a channel's
+// checkpointed floor (manifest WALSeq) were already restored by the
+// snapshot and are skipped; everything above it is re-applied in journal
+// order, recreating never-checkpointed channels on the fly.
+func (d *daemon) openWAL(o options) error {
+	if o.walDir == "" {
+		return nil
+	}
+	fsync := d.pool.Metrics().Histogram("aovlis_wal_fsync_seconds",
+		"Latency of WAL group-commit fsyncs.", metrics.ExpBuckets(1e-6, 2, 23))
+	j, err := wal.Open(o.walDir, wal.Options{FsyncObserve: fsync.Observe})
+	if err != nil {
+		return fmt.Errorf("opening ingest WAL %s: %w", o.walDir, err)
+	}
+
+	floors := make(map[string]uint64)
+	if o.snapshotDir != "" {
+		if m, err := snapshot.ReadManifest(o.snapshotDir); err == nil {
+			for _, e := range m.Channels {
+				floors[e.ID] = e.WALSeq
+			}
+		} else if !errors.Is(err, fs.ErrNotExist) {
+			j.Close()
+			return fmt.Errorf("reading snapshot manifest for WAL replay: %w", err)
+		}
+	}
+	replayed, skipped := 0, 0
+	if err := j.Replay(func(r wal.Record) error {
+		if r.Seq <= floors[r.Channel] {
+			skipped++
+			return nil
+		}
+		if err := d.ensureChannel(r.Channel); err != nil {
+			return fmt.Errorf("recreating channel %s: %w", r.Channel, err)
+		}
+		if _, err := d.pool.ReplayObserve(r.Channel, r.Seq, r.Action, r.Audience); err != nil {
+			return fmt.Errorf("channel %s seq %d: %w", r.Channel, r.Seq, err)
+		}
+		replayed++
+		return nil
+	}); err != nil {
+		j.Close()
+		return fmt.Errorf("replaying ingest WAL %s: %w", o.walDir, err)
+	}
+
+	seed := j.MaxSeqs()
+	for id, floor := range floors {
+		if floor > seed[id] {
+			seed[id] = floor
+		}
+	}
+	d.pool.AttachJournal(j, seed)
+	d.wal = j
+	fmt.Printf("ingest WAL %s: replayed %d records (%d below checkpoint floors) across %d segments\n",
+		o.walDir, replayed, skipped, j.Segments())
+	return nil
+}
+
+// closeDurability closes the journal and ledger (flushing the ledger's
+// pending batch); callers run it after the pool has stopped.
+func (d *daemon) closeDurability() error {
+	var err error
+	if d.ledger != nil {
+		if e := d.ledger.Close(); e != nil {
+			err = fmt.Errorf("closing verdict ledger: %w", e)
+			fmt.Fprintln(os.Stderr, "aovlisd:", err)
+		}
+	}
+	if d.wal != nil {
+		if e := d.wal.Close(); e != nil && err == nil {
+			err = fmt.Errorf("closing ingest WAL: %w", e)
+			fmt.Fprintln(os.Stderr, "aovlisd:", err)
+		}
+	}
+	return err
+}
+
+// ledgerSink adapts the verdict ledger to the pool's VerdictSink. The
+// ledger serialises appends internally; an append error is reported once
+// the daemon checkpoints (Flush) — the hot path must not block scoring on
+// ledger I/O diagnostics.
+type ledgerSink struct{ led *ledger.Ledger }
+
+func (s ledgerSink) Record(channel string, channelSeq uint64, res aovlis.Result) {
+	_, err := s.led.Append(ledger.Entry{
+		Channel:    channel,
+		ChannelSeq: channelSeq,
+		UnixNanos:  time.Now().UnixNano(),
+		Anomaly:    res.Anomaly,
+		Score:      res.Score,
+		Exact:      res.Exact,
+		Path:       res.Path,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "aovlisd: ledger append (channel %s seq %d): %v\n", channel, channelSeq, err)
+	}
 }
 
 // snapshotNow runs one serialised checkpoint into the snapshot directory.
@@ -234,10 +409,36 @@ func (d *daemon) snapshotNow() (serve.Report, error) {
 	d.snapMu.Lock()
 	defer d.snapMu.Unlock()
 	rep, err := d.pool.Snapshot(d.snapshotDir)
-	if err == nil {
-		d.lastSnapshot.Store(time.Now().UnixNano())
+	if err != nil {
+		return rep, err
 	}
-	return rep, err
+	d.lastSnapshot.Store(time.Now().UnixNano())
+	// Checkpoint commit order: the manifest is durable, so verdicts up to
+	// it can be sealed and journal segments covered by its per-channel
+	// floors can go. A ledger flush or WAL truncation failure does not
+	// invalidate the snapshot — surface it without failing the checkpoint,
+	// and leave the journal conservative (extra segments only mean extra
+	// replay, never loss).
+	if d.ledger != nil {
+		if err := d.ledger.Flush(); err != nil {
+			fmt.Fprintf(os.Stderr, "aovlisd: ledger flush after snapshot: %v\n", err)
+		}
+	}
+	if d.wal != nil {
+		m, err := snapshot.ReadManifest(d.snapshotDir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "aovlisd: rereading manifest for WAL truncation: %v\n", err)
+			return rep, nil
+		}
+		cover := make(map[string]uint64, len(m.Channels))
+		for _, e := range m.Channels {
+			cover[e.ID] = e.WALSeq
+		}
+		if _, err := d.wal.Truncate(cover); err != nil {
+			fmt.Fprintf(os.Stderr, "aovlisd: truncating ingest WAL: %v\n", err)
+		}
+	}
+	return rep, nil
 }
 
 // snapshotLoop checkpoints the pool at the configured cadence until the
@@ -329,6 +530,15 @@ type daemon struct {
 	nodeID      string
 	started     time.Time
 
+	// wal is the ingest journal (nil without -wal-dir): submit fsyncs every
+	// accepted observation into it before queueing, and snapshotNow
+	// truncates it up to the committed checkpoint's per-channel floors.
+	wal *wal.Log
+
+	// ledger is the tamper-evident verdict log (nil without -ledger-dir),
+	// fed by the pool's verdict sink and flushed on every checkpoint.
+	ledger *ledger.Ledger
+
 	// obsWindow is the observe handler's submission pipeline depth: up to
 	// this many segments of one NDJSON stream are in flight at once, which
 	// is what feeds the pool's micro-batching a real backlog. ≤1 keeps the
@@ -357,6 +567,8 @@ func (d *daemon) handler(enablePprof, enableMetrics bool) http.Handler {
 	mux.HandleFunc("/channels", d.handleList)
 	mux.HandleFunc("/channels/", d.handleChannel)
 	mux.HandleFunc("/snapshot", d.handleSnapshot)
+	mux.HandleFunc("/ledger/root", d.handleLedgerRoot)
+	mux.HandleFunc("/ledger/proof/", d.handleLedgerProof)
 	if enableMetrics {
 		mux.HandleFunc("/metrics", d.handleMetrics)
 	}
@@ -401,7 +613,12 @@ type decision struct {
 	Score   float64 `json:"score"`
 	Exact   bool    `json:"exact"`
 	Path    string  `json:"path,omitempty"`
-	Dropped bool    `json:"dropped,omitempty"`
+	// WSeq is the observation's WAL sequence on this node (0 without
+	// -wal-dir). A router records the highest wseq it has relayed per
+	// channel, which is exactly the journal suffix it must replay to the
+	// new owner when this node dies.
+	WSeq    uint64 `json:"wseq,omitempty"`
+	Dropped bool   `json:"dropped,omitempty"`
 	// Rejected marks a line refused by admission control (the pool was past
 	// its reject watermark) — retry later; Dropped marks a DropNewest queue
 	// overflow.
@@ -543,6 +760,7 @@ func (d *daemon) handleObserve(w http.ResponseWriter, r *http.Request, id string
 	}()
 	resolve := func(s int, o serve.Outcome) {
 		pending[s] = false
+		decs[s].WSeq = o.Seq
 		if o.Err != nil {
 			decs[s].Error = o.Err.Error()
 		} else {
@@ -774,6 +992,52 @@ func (d *daemon) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, rep)
+}
+
+// handleLedgerRoot publishes the verdict ledger's current head: batch and
+// entry counts plus the chained Merkle root. Operators record the chained
+// hash out-of-band and later hand it to `aovlisctl verify -expect-chained`
+// — a ledger directory rewritten after the fact can then never verify.
+func (d *daemon) handleLedgerRoot(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "ledger root wants GET", http.StatusMethodNotAllowed)
+		return
+	}
+	if d.ledger == nil {
+		http.Error(w, "verdict ledger disabled: start aovlisd with -ledger-dir", http.StatusPreconditionFailed)
+		return
+	}
+	writeJSON(w, d.ledger.Root())
+}
+
+// handleLedgerProof serves the Merkle inclusion proof for one committed
+// verdict by ledger sequence. The proof is self-contained JSON — verify it
+// offline with ledger.VerifyProof / aovlisctl, no trust in this daemon
+// required beyond the out-of-band root.
+func (d *daemon) handleLedgerProof(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "ledger proof wants GET", http.StatusMethodNotAllowed)
+		return
+	}
+	if d.ledger == nil {
+		http.Error(w, "verdict ledger disabled: start aovlisd with -ledger-dir", http.StatusPreconditionFailed)
+		return
+	}
+	seq, err := strconv.ParseUint(strings.TrimPrefix(r.URL.Path, "/ledger/proof/"), 10, 64)
+	if err != nil {
+		http.Error(w, "want /ledger/proof/{seq}", http.StatusBadRequest)
+		return
+	}
+	p, err := d.ledger.Proof(seq)
+	if errors.Is(err, ledger.ErrNotCommitted) {
+		http.Error(w, err.Error(), http.StatusNotFound)
+		return
+	}
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	writeJSON(w, p)
 }
 
 // handleList reports every channel's counters.

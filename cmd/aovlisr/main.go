@@ -5,7 +5,9 @@
 // each channel's owner over pooled connections, live-migrates channels
 // between nodes on POST /cluster/rebalance, and fails a dead node's
 // channels over onto survivors — warm-restoring each from the node's last
-// checkpoint when its -snapshot-dir is shared with the router.
+// checkpoint when its -snapshot-dir is shared with the router, then
+// replaying the node's ingest journal tail when its -wal-dir is shared
+// too, so failed-over channels resume bit-equal to an undisturbed run.
 //
 // Clients speak the exact aovlisd channel API to the router; the fleet is
 // invisible to them:
@@ -34,7 +36,7 @@ import (
 func main() {
 	var (
 		addr       = flag.String("addr", ":7600", "router listen address")
-		nodes      = flag.String("nodes", "", "fleet spec: name=url[=snapshotdir],... — the name must match each node's -node-id; the optional snapshotdir is that node's -snapshot-dir as visible to the router, enabling warm failover")
+		nodes      = flag.String("nodes", "", "fleet spec: name=url[=snapshotdir[=waldir]],... — the name must match each node's -node-id; the optional snapshotdir is that node's -snapshot-dir as visible to the router, enabling warm failover; the optional waldir is its -wal-dir, enabling journal-tail replay (bit-equal failover)")
 		replicas   = flag.Int("vnodes", cluster.DefaultReplicas, "virtual points per node on the hash ring")
 		loadFactor = flag.Float64("load-factor", cluster.DefaultLoadFactor, "bounded-load factor: no node owns more than this multiple of the mean channel count")
 		window     = flag.Int("window", 32, "per-stream pipelining depth: unacknowledged segments in flight per observe stream (also bounds segments queued at the router across a failover)")
@@ -52,7 +54,7 @@ func main() {
 func run(addr, nodes string, replicas int, loadFactor float64, window int,
 	probeEvery time.Duration, failAfter int, failWait time.Duration) error {
 	if nodes == "" {
-		return fmt.Errorf("-nodes is required (name=url[=snapshotdir],...)")
+		return fmt.Errorf("-nodes is required (name=url[=snapshotdir[=waldir]],...)")
 	}
 	specs, err := cluster.ParseNodeSpecs(nodes)
 	if err != nil {

@@ -2,15 +2,18 @@ package main
 
 // Multi-process soak for the scale-out tier: real aovlisd processes, the
 // in-process cluster router, a node killed with SIGKILL mid-stream. The
-// gates are the ISSUE 8 acceptance criteria:
+// gates are the ISSUE 8 acceptance criteria, tightened by ISSUE 9 now
+// that every node journals its ingest and shares the journal dir with
+// the router:
 //
 //   - zero accepted-segment loss: every line every stream accepted is
 //     answered exactly once, in order, across the kill;
-//   - bit-equality: channels with no un-checkpointed segments at the dead
-//     node replay bit-identically to an undisturbed single-node run;
-//   - at-least-last-checkpoint: channels that streamed through the kill
-//     keep every decision but may re-score their in-flight tail on the
-//     restored (checkpoint) state — the documented weaker contract.
+//   - bit-equality for EVERY channel — including the ones streaming
+//     through the kill: failover restores the victim's checkpoint, then
+//     replays its journal tail up to the delivered boundary, and parked
+//     streams resubmit the rest, so the re-scored tail lands on exactly
+//     the state an undisturbed run would have had. The former
+//     at-least-last-checkpoint carve-out is gone.
 //
 // TestClusterThroughput is the §8 benchmark body: a 3-node fastmath+tiered
 // fleet behind the router driven by the open-loop HTTP loadgen, printing
@@ -146,6 +149,7 @@ type nodeProc struct {
 	name    string
 	url     string
 	dir     string // its -snapshot-dir
+	walDir  string // its -wal-dir
 	cmd     *exec.Cmd
 	done    chan struct{} // closed when the process exits
 	waitErr error         // valid after done closes
@@ -161,7 +165,10 @@ func (n *nodeProc) kill() {
 }
 
 // startNode spawns a real aovlisd on a fresh port and waits for /healthz.
-func startNode(t *testing.T, bin, model, name, dir string) *nodeProc {
+// base holds the node's durable state: base/snap is its -snapshot-dir and
+// base/wal its -wal-dir, both "shared" with the in-process router the way
+// a real deployment shares them over a network filesystem.
+func startNode(t *testing.T, bin, model, name, base string) *nodeProc {
 	t.Helper()
 	l, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
@@ -170,16 +177,19 @@ func startNode(t *testing.T, bin, model, name, dir string) *nodeProc {
 	addr := l.Addr().String()
 	l.Close()
 
+	snapDir := filepath.Join(base, "snap")
+	walDir := filepath.Join(base, "wal")
 	cmd := exec.Command(bin,
 		"-addr", addr, "-load", model, "-node-id", name,
-		"-snapshot-dir", dir, "-shards", "2", "-queue", "256",
+		"-snapshot-dir", snapDir, "-wal-dir", walDir,
+		"-shards", "2", "-queue", "256",
 		"-admission=false", "-metrics=false")
 	cmd.Stdout = io.Discard
 	cmd.Stderr = os.Stderr
 	if err := cmd.Start(); err != nil {
 		t.Fatal(err)
 	}
-	n := &nodeProc{name: name, url: "http://" + addr, dir: dir, cmd: cmd, done: make(chan struct{})}
+	n := &nodeProc{name: name, url: "http://" + addr, dir: snapDir, walDir: walDir, cmd: cmd, done: make(chan struct{})}
 	go func() { n.waitErr = cmd.Wait(); close(n.done) }()
 	t.Cleanup(n.kill)
 
@@ -323,7 +333,7 @@ func TestClusterKillNodeSoak(t *testing.T) {
 	for i := range nodes {
 		name := fmt.Sprintf("soak-%d", i)
 		nodes[i] = startNode(t, bin, model, name, t.TempDir())
-		specs[i] = cluster.NodeSpec{Name: name, URL: nodes[i].url, SnapshotDir: nodes[i].dir}
+		specs[i] = cluster.NodeSpec{Name: name, URL: nodes[i].url, SnapshotDir: nodes[i].dir, WALDir: nodes[i].walDir}
 	}
 	r, err := cluster.New(cluster.Config{
 		Nodes:        specs,
@@ -381,8 +391,9 @@ func TestClusterKillNodeSoak(t *testing.T) {
 	}
 
 	// Pick the victim: the node owning the most channels. Its channels
-	// split into a quiesced half (idle across the kill → bit-equal) and a
-	// live half (streaming through the kill → at-least-last-checkpoint).
+	// split into a quiesced half (idle across the kill) and a live half
+	// (streaming through the kill, exercising journal-tail replay); with
+	// the WAL shared, both halves must come back bit-equal.
 	owners := make(map[string][]int)
 	for i, id := range channels {
 		owners[placeOf(t, router.URL, id)] = append(owners[placeOf(t, router.URL, id)], i)
@@ -456,10 +467,12 @@ func TestClusterKillNodeSoak(t *testing.T) {
 		phaseB[i] = decs
 	}
 
-	// Bit-equality: phase A everywhere, and phase B for every channel the
-	// kill could not have left un-checkpointed state on (quiesced victim
-	// channels and all survivor-owned channels that saw no failover).
-	bitEqual, atLeast := 0, 0
+	// Bit-equality everywhere: phase A trivially, and phase B for EVERY
+	// channel — the kill-in-flight set included. The victim journaled each
+	// observation before acknowledging it, failover replayed that journal
+	// up to the last decision the router delivered, and the parked streams
+	// resubmitted the rest, so even the re-scored tails must match the
+	// undisturbed single-node run bit for bit.
 	for i := range channels {
 		for k := 0; k < k1; k++ {
 			if phaseA[i][k].Score != refScores[i][k].Score || phaseA[i][k].Anomaly != refScores[i][k].Anomaly {
@@ -476,29 +489,34 @@ func TestClusterKillNodeSoak(t *testing.T) {
 		}
 		return false
 	}
+	bitEqual := 0
 	for i := range channels {
-		if isLiveVictim(i) {
-			// At-least-last-checkpoint: every segment answered (asserted
-			// above); the tail may have re-scored on restored state, so
-			// scores are not compared.
-			atLeast++
-			continue
+		kind := "undisturbed"
+		switch {
+		case isLiveVictim(i):
+			kind = "killed in flight, journal-replayed"
+		default:
+			for _, q := range quiesced {
+				if q == i {
+					kind = "failover-restored (quiesced)"
+				}
+			}
 		}
 		for k := 0; k < k2; k++ {
 			if phaseB[i][k].Score != refScores[i][k1+k].Score || phaseB[i][k].Anomaly != refScores[i][k1+k].Anomaly {
-				t.Fatalf("channel %s seq %d: diverged from single-node replay after failover: %v vs %v",
-					channels[i], k1+k, phaseB[i][k].Score, refScores[i][k1+k].Score)
+				t.Fatalf("channel %s (%s) seq %d: diverged from single-node replay after failover: %v vs %v",
+					channels[i], kind, k1+k, phaseB[i][k].Score, refScores[i][k1+k].Score)
 			}
 		}
 		bitEqual++
 	}
 	total := nChannels * (k1 + k2)
-	fmt.Printf("SOAK-RESULT channels=%d segments=%d lost=0 bitequal=%d atleastcheckpoint=%d\n",
-		nChannels, total, bitEqual, atLeast)
-	if bitEqual == 0 {
-		t.Fatal("no channel exercised the bit-equality path")
+	fmt.Printf("SOAK-RESULT channels=%d segments=%d lost=0 bitequal=%d killinflight=%d\n",
+		nChannels, total, bitEqual, len(live))
+	if bitEqual != nChannels {
+		t.Fatalf("bit-equal channels %d of %d — tightened WAL failover contract violated", bitEqual, nChannels)
 	}
-	if atLeast == 0 {
+	if len(live) == 0 {
 		t.Fatal("no channel exercised the kill-in-flight path")
 	}
 }

@@ -25,6 +25,7 @@ type routerMetrics struct {
 	failovers   *metrics.Counter // node-death failover events
 	failedOver  *metrics.Counter // channels re-placed by failover
 	restored    *metrics.Counter // failover channels warm-restored from checkpoint
+	walReplayed *metrics.Counter // journaled observations replayed onto new owners
 
 	// forwardLatency is send→acknowledge per segment, router-observed
 	// (includes node queueing and scoring).
@@ -51,6 +52,7 @@ func newRouterMetrics(r *Router) *routerMetrics {
 		failovers:   reg.Counter("aovlisr_failovers_total", "node-death failover events"),
 		failedOver:  reg.Counter("aovlisr_failover_channels_total", "channels re-placed onto survivors by failover"),
 		restored:    reg.Counter("aovlisr_failover_restored_total", "failover channels warm-restored from a shared-dir checkpoint"),
+		walReplayed: reg.Counter("aovlisr_failover_wal_replayed_total", "journaled observations replayed from a dead node's WAL onto new owners"),
 		forwardLatency: reg.Histogram("aovlisr_forward_latency_seconds",
 			"per-segment send-to-acknowledge latency through a node",
 			metrics.ExpBuckets(50e-6, 2, 16)),

@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"bufio"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -8,6 +9,8 @@ import (
 	"strings"
 	"sync/atomic"
 	"time"
+
+	"aovlis/internal/wal"
 )
 
 // NodeSpec describes one aovlisd process in the fleet as configured on the
@@ -23,10 +26,16 @@ type NodeSpec struct {
 	// from the manifest committed there; without it a failed node's
 	// channels restart cold on their new owners.
 	SnapshotDir string
+	// WALDir, when non-empty, is the node's -wal-dir as seen from the
+	// ROUTER's filesystem. Failover then replays the dead node's journal
+	// tail — every acknowledged observation above the checkpointed floor —
+	// onto the new owner before ownership flips, upgrading the failed-over
+	// channels from at-least-last-checkpoint to bit-equal replay.
+	WALDir string
 }
 
 // ParseNodeSpecs parses the -nodes flag syntax:
-// "name=url[=snapshotdir],name=url[=snapshotdir],...".
+// "name=url[=snapshotdir[=waldir]],name=url[=snapshotdir[=waldir]],...".
 func ParseNodeSpecs(s string) ([]NodeSpec, error) {
 	var specs []NodeSpec
 	for _, part := range strings.Split(s, ",") {
@@ -34,13 +43,16 @@ func ParseNodeSpecs(s string) ([]NodeSpec, error) {
 		if part == "" {
 			continue
 		}
-		fields := strings.SplitN(part, "=", 3)
+		fields := strings.SplitN(part, "=", 4)
 		if len(fields) < 2 || fields[0] == "" || fields[1] == "" {
-			return nil, fmt.Errorf("cluster: bad node spec %q (want name=url or name=url=snapshotdir)", part)
+			return nil, fmt.Errorf("cluster: bad node spec %q (want name=url[=snapshotdir[=waldir]])", part)
 		}
 		spec := NodeSpec{Name: fields[0], URL: strings.TrimSuffix(fields[1], "/")}
-		if len(fields) == 3 {
+		if len(fields) >= 3 {
 			spec.SnapshotDir = fields[2]
+		}
+		if len(fields) == 4 {
+			spec.WALDir = fields[3]
 		}
 		specs = append(specs, spec)
 	}
@@ -172,6 +184,93 @@ func (n *Node) putSnapshot(id string, body io.Reader) error {
 		return fmt.Errorf("cluster: importing %q into %s: status %d: %s", id, n.Spec.Name, resp.StatusCode, msg)
 	}
 	return nil
+}
+
+// replayObservations re-applies journaled observations onto this node's
+// channel, in order, through the regular observe endpoint — the receive
+// half of failover journal replay. The request is written concurrently
+// with the response read (the node pipelines decisions), and every record
+// must come back as a scored decision: a rejected, dropped or errored
+// line fails the replay, because a partially applied journal tail would
+// silently break the bit-equal contract the replay exists to restore.
+// Returns the count of applied records and the highest wseq the node
+// assigned them (the NEW owner's journal numbering — it reseeds the relay
+// tracker so a subsequent failover of this node replays them again).
+func (n *Node) replayObservations(id string, recs []wal.Record) (int, uint64, error) {
+	pr, pw := io.Pipe()
+	req, err := http.NewRequest(http.MethodPost, n.observeURL(id), pr)
+	if err != nil {
+		return 0, 0, err
+	}
+	req.Header.Set("Content-Type", "application/x-ndjson")
+	writeErr := make(chan error, 1)
+	go func() {
+		bw := bufio.NewWriterSize(pw, 32<<10)
+		var failed error
+		for _, rec := range recs {
+			// encoding/json renders float64s in shortest round-trip form,
+			// so the re-parsed features are bit-identical to the journaled
+			// ones — the replay scores exactly what the dead node scored.
+			line, err := json.Marshal(struct {
+				Action   []float64 `json:"action"`
+				Audience []float64 `json:"audience"`
+			}{rec.Action, rec.Audience})
+			if err == nil {
+				_, err = bw.Write(append(line, '\n'))
+			}
+			if err != nil {
+				failed = err
+				break
+			}
+		}
+		if failed == nil {
+			failed = bw.Flush()
+		}
+		pw.CloseWithError(failed) // nil closes cleanly (EOF)
+		writeErr <- failed
+	}()
+	resp, err := n.client.Do(req)
+	if err != nil {
+		return 0, 0, fmt.Errorf("cluster: replaying journal of %q into %s: %w", id, n.Spec.Name, err)
+	}
+	defer drainClose(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		msg := readErrorBody(resp.Body)
+		return 0, 0, fmt.Errorf("cluster: replaying journal of %q into %s: status %d: %s", id, n.Spec.Name, resp.StatusCode, msg)
+	}
+	applied, maxW := 0, uint64(0)
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := trimSpaceBytes(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var d Decision
+		if err := json.Unmarshal(line, &d); err != nil {
+			return applied, maxW, fmt.Errorf("cluster: bad replay decision from %s: %w", n.Spec.Name, err)
+		}
+		switch {
+		case d.Error != "":
+			return applied, maxW, fmt.Errorf("cluster: replaying %q seq %d into %s: %s", id, d.Seq, n.Spec.Name, d.Error)
+		case d.Rejected, d.Dropped:
+			return applied, maxW, fmt.Errorf("cluster: node %s shed replayed segment %d of %q", n.Spec.Name, d.Seq, id)
+		}
+		applied++
+		if d.WSeq > maxW {
+			maxW = d.WSeq
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return applied, maxW, fmt.Errorf("cluster: reading replay decisions from %s: %w", n.Spec.Name, err)
+	}
+	if werr := <-writeErr; werr != nil {
+		return applied, maxW, fmt.Errorf("cluster: writing replay stream of %q to %s: %w", id, n.Spec.Name, werr)
+	}
+	if applied != len(recs) {
+		return applied, maxW, fmt.Errorf("cluster: node %s answered %d of %d replayed records of %q", n.Spec.Name, applied, len(recs), id)
+	}
+	return applied, maxW, nil
 }
 
 // deleteChannel detaches a channel from the node. 404 counts as success

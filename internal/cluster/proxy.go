@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"bufio"
+	"bytes"
 	"context"
 	"encoding/json"
 	"fmt"
@@ -16,16 +17,21 @@ import (
 // the wire contract with cmd/aovlisd; the multi-process soak pins the two
 // against each other.
 type Decision struct {
-	Channel  string  `json:"channel"`
-	Seq      int     `json:"seq"`
-	Warmup   bool    `json:"warmup,omitempty"`
-	Anomaly  bool    `json:"anomaly"`
-	Score    float64 `json:"score"`
-	Exact    bool    `json:"exact"`
-	Path     string  `json:"path,omitempty"`
-	Dropped  bool    `json:"dropped,omitempty"`
-	Rejected bool    `json:"rejected,omitempty"`
-	Error    string  `json:"error,omitempty"`
+	Channel string  `json:"channel"`
+	Seq     int     `json:"seq"`
+	Warmup  bool    `json:"warmup,omitempty"`
+	Anomaly bool    `json:"anomaly"`
+	Score   float64 `json:"score"`
+	Exact   bool    `json:"exact"`
+	Path    string  `json:"path,omitempty"`
+	// WSeq is the observation's WAL sequence on the node that scored it
+	// (0 when the node runs without -wal-dir). The router records the
+	// highest wseq it relays per channel; on failover that is exactly the
+	// journal suffix replayed onto the new owner (see FailNode).
+	WSeq     uint64 `json:"wseq,omitempty"`
+	Dropped  bool   `json:"dropped,omitempty"`
+	Rejected bool   `json:"rejected,omitempty"`
+	Error    string `json:"error,omitempty"`
 }
 
 // slot is one pending segment in a stream's pipelining ring: the raw line
@@ -466,7 +472,9 @@ func (ps *proxyStream) deliver(raw []byte) error {
 		// Fast path: the connection's seqs coincide with the client's, so
 		// the node line passes through verbatim. Flushing is deferred to
 		// the next blocking wait (or handler return) — one syscall per idle
-		// transition, not per decision.
+		// transition, not per decision. The wseq high-water mark is scraped
+		// with a byte scan instead of a JSON parse for the same reason.
+		ps.entry.noteWseq(scanWseq(raw))
 		if _, err := ps.w.Write(raw); err != nil {
 			return ps.clientGone(err)
 		}
@@ -481,12 +489,35 @@ func (ps *proxyStream) deliver(raw []byte) error {
 			return fmt.Errorf("cluster: bad acknowledgement line from %s: %w", up.node.Spec.Name, err)
 		}
 		d.Seq = s.seq
+		ps.entry.noteWseq(d.WSeq)
 		if err := ps.writeDecision(d); err != nil {
 			return ps.clientGone(err)
 		}
 	}
 	ps.pop()
 	return nil
+}
+
+// wseqKey is the decision wire field scanWseq scrapes. The literal byte
+// sequence cannot be forged by channel names: the only free-form string
+// in a decision line is JSON-encoded, which escapes its quotes.
+var wseqKey = []byte(`"wseq":`)
+
+// scanWseq extracts the wseq field from a raw decision line without a
+// full JSON parse (0 when absent — the node runs without -wal-dir).
+func scanWseq(raw []byte) uint64 {
+	i := bytes.Index(raw, wseqKey)
+	if i < 0 {
+		return 0
+	}
+	var w uint64
+	for _, c := range raw[i+len(wseqKey):] {
+		if c < '0' || c > '9' {
+			break
+		}
+		w = w*10 + uint64(c-'0')
+	}
+	return w
 }
 
 // clientGone wraps a response-write failure: the client disconnected, so

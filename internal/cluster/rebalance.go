@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"aovlis/internal/snapshot"
+	"aovlis/internal/wal"
 )
 
 // Move records one channel relocation in a rebalance or failover report.
@@ -18,8 +19,13 @@ type Move struct {
 	// Warm is true when the channel's runtime state travelled with it
 	// (live export/import, or a checkpoint restore during failover);
 	// false means the channel restarts cold on the new owner.
-	Warm  bool   `json:"warm"`
-	Error string `json:"error,omitempty"`
+	Warm bool `json:"warm"`
+	// Replayed counts the dead owner's journaled observations re-applied
+	// onto the new owner during failover (0 outside the WAL failover
+	// path). With a complete replay the channel resumes bit-equal to an
+	// undisturbed run instead of at its last checkpoint.
+	Replayed int    `json:"replayed,omitempty"`
+	Error    string `json:"error,omitempty"`
 }
 
 // RebalanceReport summarises one rebalance pass.
@@ -142,23 +148,37 @@ type FailoverReport struct {
 	Channels int    `json:"channels"`
 	Warm     int    `json:"warm"`
 	Cold     int    `json:"cold"`
+	// Replayed totals the journaled observations re-applied from the dead
+	// node's WAL across all of its channels (0 without a shared -wal-dir).
+	Replayed int    `json:"replayed"`
 	Moves    []Move `json:"moves,omitempty"`
 }
 
 // FailNode marks a node dead and re-places every channel it owned onto
 // the survivors. For each channel the router first warm-restores the last
 // checkpoint from the dead node's shared -snapshot-dir (when configured
-// and the manifest names the channel), THEN flips ownership — so a parked
-// stream that rotates onto the new owner finds the restored window rather
-// than racing the restore. Channels without a usable checkpoint cold-start
-// from the node template on the new owner.
+// and the manifest names the channel), then — when the dead node's
+// -wal-dir is shared too — replays the journal suffix between the
+// checkpoint's floor and the highest wseq the router relayed for the
+// channel onto the new owner, and only THEN flips ownership — so a parked
+// stream that rotates onto the new owner finds the reconstructed window
+// rather than racing the restore. Channels without a usable checkpoint
+// cold-start from the node template on the new owner (unless their entire
+// history is still in the journal, which replays them whole).
 //
 // Unlike a rebalance there is no drain — the dead node can acknowledge
 // nothing — so ownership flips forcibly: streams detect the bumped epoch
 // (or their broken connection) and resubmit every unacknowledged segment
-// to the new owner. Segments the dead node acknowledged AFTER its last
-// checkpoint are lost from model state; that is the documented
-// at-least-last-checkpoint consistency bound.
+// to the new owner. The relayed-wseq bound is what makes that compose to
+// exactly-once: everything at or below it was delivered to a client (so
+// no stream resubmits it — the replay is its only application), and
+// everything above it is resubmitted (so the replay must not touch it).
+// Channels whose replay completes therefore resume bit-equal to an
+// undisturbed run. Without a shared WAL — or if the replay fails, or if
+// the dead node had shed journaled segments (a dropped segment never
+// advances the relayed wseq, but later acknowledged ones do) — the bound
+// degrades to the previous contract: at-least-last-checkpoint, with the
+// acknowledged post-checkpoint tail lost from model state.
 func (r *Router) FailNode(name string) error {
 	r.topoMu.Lock()
 	defer r.topoMu.Unlock()
@@ -198,11 +218,21 @@ func (r *Router) FailNode(name string) error {
 		return err
 	}
 	checkpoints := r.checkpointIndex(n)
+	floors := make(map[string]uint64, len(checkpoints))
+	for id, ref := range checkpoints {
+		floors[id] = ref.walSeq
+	}
+	orphanSet := make(map[string]bool, len(orphans))
+	for _, id := range orphans {
+		orphanSet[id] = true
+	}
+	tails := r.journalTails(n, orphanSet, floors)
 	for _, id := range sortedKeys(target) {
 		to := r.byName[target[id]]
 		mv := Move{Channel: id, From: name, To: to.Spec.Name}
-		if file, ok := checkpoints[id]; ok {
-			if err := r.restoreFromFile(to, id, file); err != nil {
+		ref, hasCkpt := checkpoints[id]
+		if hasCkpt {
+			if err := r.restoreFromFile(to, id, ref.file); err != nil {
 				r.cfg.Logf("cluster: failover restore of %q onto %s: %v (cold start)", id, to.Spec.Name, err)
 				mv.Error = err.Error()
 			} else {
@@ -211,22 +241,118 @@ func (r *Router) FailNode(name string) error {
 				r.m.restored.Inc()
 			}
 		}
+		// Journal replay: re-apply the acknowledged-and-delivered suffix
+		// before the flip, so a rotating stream's resubmissions land on
+		// fully reconstructed state. A failed replay leaves the channel at
+		// its checkpoint — the pre-WAL contract, never worse.
+		var reseed uint64
+		if recs := r.replayableTail(id, tails[id], entries[id].wseq.Load(), floors[id], mv.Warm, hasCkpt); len(recs) > 0 {
+			if _, maxW, err := to.replayObservations(id, recs); err != nil {
+				r.cfg.Logf("cluster: failover journal replay of %q onto %s: %v (resuming at last checkpoint)", id, to.Spec.Name, err)
+			} else {
+				mv.Replayed = len(recs)
+				rep.Replayed += len(recs)
+				r.m.walReplayed.Add(uint64(len(recs)))
+				reseed = maxW
+			}
+		}
 		if !mv.Warm {
 			rep.Cold++
 		}
 		entries[id].forceFlip(to)
+		if reseed > 0 {
+			// The replayed records now live in the NEW owner's journal under
+			// its own numbering; reseed the relay tracker (post-flip, so the
+			// reset cannot clobber it) for a future failover of that owner.
+			entries[id].noteWseq(reseed)
+		}
 		r.m.failedOver.Inc()
 		rep.Moves = append(rep.Moves, mv)
 	}
-	r.cfg.Logf("cluster: node %s failed over: %d channels re-placed (%d warm, %d cold)",
-		name, rep.Channels, rep.Warm, rep.Cold)
+	r.cfg.Logf("cluster: node %s failed over: %d channels re-placed (%d warm, %d cold, %d observations replayed)",
+		name, rep.Channels, rep.Warm, rep.Cold, rep.Replayed)
 	return nil
 }
 
+// journalTails reads the dead node's shared ingest journal (read-only —
+// ScanDir never modifies the directory and stops silently at a torn tail,
+// the expected kill -9 artifact) and returns each orphaned channel's
+// records above its checkpointed floor, in journal order. Any problem
+// degrades to an empty tail — the at-least-last-checkpoint bound — never
+// to a failover error.
+func (r *Router) journalTails(n *Node, orphans map[string]bool, floors map[string]uint64) map[string][]wal.Record {
+	dir := n.Spec.WALDir
+	if dir == "" {
+		return nil
+	}
+	out := make(map[string][]wal.Record)
+	if err := wal.ScanDir(dir, func(rec wal.Record) error {
+		if !orphans[rec.Channel] || rec.Seq <= floors[rec.Channel] {
+			return nil
+		}
+		out[rec.Channel] = append(out[rec.Channel], rec)
+		return nil
+	}); err != nil {
+		r.cfg.Logf("cluster: scanning journal of %s in %s: %v (failover degrades to last checkpoint)", n.Spec.Name, dir, err)
+		return nil
+	}
+	return out
+}
+
+// replayableTail bounds one channel's journal tail to the records
+// failover may re-apply: at or below the relayed-wseq boundary (above it,
+// streams resubmit — replaying would double-apply), contiguous from the
+// state the new owner actually holds (the restored checkpoint's floor, or
+// sequence 1 for a channel whose whole history is still journaled). Any
+// gap disqualifies the replay entirely — applying a wrong suffix would
+// corrupt state rather than merely losing a tail.
+func (r *Router) replayableTail(id string, recs []wal.Record, boundary, floor uint64, warm, hasCkpt bool) []wal.Record {
+	if len(recs) == 0 || boundary == 0 {
+		return nil
+	}
+	if !warm {
+		if hasCkpt {
+			// A checkpoint exists but failed to restore: splicing the
+			// journal tail onto a cold template would score garbage.
+			return nil
+		}
+		floor = 0 // cold channel: only a full history from seq 1 is usable
+	}
+	next := floor + 1
+	var out []wal.Record
+	for _, rec := range recs {
+		if rec.Seq > boundary {
+			break
+		}
+		if rec.Seq != next {
+			r.cfg.Logf("cluster: journal tail of %q is not contiguous (have seq %d, want %d); skipping replay", id, rec.Seq, next)
+			return nil
+		}
+		out = append(out, rec)
+		next++
+	}
+	if next <= boundary {
+		// The journal ends short of a sequence the router delivered to a
+		// client — only possible if the shared directory is stale or wrong,
+		// since nodes fsync before acknowledging. Replay the prefix anyway
+		// (closest achievable state) but say so loudly.
+		r.cfg.Logf("cluster: journal of %q ends at seq %d but seq %d was relayed; shared -wal-dir stale?", id, next-1, boundary)
+	}
+	return out
+}
+
+// checkpointRef is one verified checkpoint: the snapshot file to restore
+// and the WAL floor it covers (the highest journal sequence already folded
+// into the checkpointed state — journal replay starts above it).
+type checkpointRef struct {
+	file   string
+	walSeq uint64
+}
+
 // checkpointIndex reads the dead node's shared snapshot directory manifest
-// and returns channel → verified snapshot file path. Missing dir, missing
+// and returns channel → verified checkpoint reference. Missing dir, missing
 // manifest or corrupt entries degrade to cold starts, never to errors.
-func (r *Router) checkpointIndex(n *Node) map[string]string {
+func (r *Router) checkpointIndex(n *Node) map[string]checkpointRef {
 	dir := n.Spec.SnapshotDir
 	if dir == "" {
 		return nil
@@ -236,13 +362,13 @@ func (r *Router) checkpointIndex(n *Node) map[string]string {
 		r.cfg.Logf("cluster: no usable checkpoint manifest for %s in %s: %v", n.Spec.Name, dir, err)
 		return nil
 	}
-	out := make(map[string]string, len(man.Channels))
+	out := make(map[string]checkpointRef, len(man.Channels))
 	for _, ce := range man.Channels {
 		if err := snapshot.VerifyEntry(dir, ce); err != nil {
 			r.cfg.Logf("cluster: checkpoint for %q fails verification: %v", ce.ID, err)
 			continue
 		}
-		out[ce.ID] = filepath.Join(dir, ce.File)
+		out[ce.ID] = checkpointRef{file: filepath.Join(dir, ce.File), walSeq: ce.WALSeq}
 	}
 	return out
 }

@@ -172,6 +172,13 @@ func TestParseNodeSpecs(t *testing.T) {
 	if specs[1].Name != "b" || specs[1].URL != "http://y:2" || specs[1].SnapshotDir != "/shared/b" {
 		t.Fatalf("spec 1: %+v", specs[1])
 	}
+	specs, err = ParseNodeSpecs("c=http://z:3=/shared/c/snap=/shared/c/wal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if specs[0].SnapshotDir != "/shared/c/snap" || specs[0].WALDir != "/shared/c/wal" {
+		t.Fatalf("4-field spec: %+v", specs[0])
+	}
 	for _, bad := range []string{"", "=http://x", "a=", "justaname"} {
 		if _, err := ParseNodeSpecs(bad); err == nil {
 			t.Fatalf("spec %q accepted", bad)

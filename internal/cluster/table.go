@@ -31,6 +31,16 @@ type entry struct {
 	epoch     uint64
 	migrating bool
 	inflight  int
+
+	// wseq is the highest WAL sequence among the decisions relayed to
+	// clients for this channel — the exact suffix boundary failover must
+	// replay from the dead owner's journal: everything at or below it was
+	// acknowledged AND delivered (so no stream will resubmit it), and
+	// everything above it is still pending in some stream's window (so the
+	// stream resubmits it to the new owner). Sequences are node-local, so
+	// the tracker resets on every ownership flip and is reseeded from the
+	// replay's own decisions. Zero when the owner runs without -wal-dir.
+	wseq atomic.Uint64
 }
 
 func newEntry(id string, owner *Node) *entry {
@@ -100,6 +110,17 @@ func (e *entry) beginMigrate() (from *Node, ok bool) {
 	return e.owner, true
 }
 
+// noteWseq raises the relayed-WAL-sequence high-water mark (monotonic
+// CAS-max: delivery order and concurrent replays never lower it).
+func (e *entry) noteWseq(w uint64) {
+	for {
+		cur := e.wseq.Load()
+		if w <= cur || e.wseq.CompareAndSwap(cur, w) {
+			return
+		}
+	}
+}
+
 // finishMigrate leaves the draining state. With a non-nil newOwner the
 // ownership flips and the epoch advances; with nil the migration aborted
 // and ownership stays put. Parked streams wake either way.
@@ -110,6 +131,7 @@ func (e *entry) finishMigrate(newOwner *Node) {
 		newOwner.owned.Add(1)
 		e.owner = newOwner
 		e.epoch++
+		e.wseq.Store(0) // sequences are node-local; new owner, new domain
 	}
 	e.migrating = false
 	e.cond.Broadcast()
@@ -127,6 +149,7 @@ func (e *entry) forceFlip(newOwner *Node) {
 	newOwner.owned.Add(1)
 	e.owner = newOwner
 	e.epoch++
+	e.wseq.Store(0) // sequences are node-local; new owner, new domain
 	e.migrating = false
 	e.cond.Broadcast()
 	e.mu.Unlock()

@@ -191,6 +191,33 @@ type Outcome struct {
 	Result aovlis.Result
 	// Err is the detector error, if any.
 	Err error
+	// Seq is the observation's journal sequence on its channel (0 when
+	// the pool runs without a journal). The daemon publishes it on the
+	// decision wire so the cluster router can bound failover replay at
+	// the last relayed sequence.
+	Seq uint64
+}
+
+// Journal is the accept-path write-ahead hook (ISSUE 9): when attached,
+// submit calls Append — which must make the observation durable before
+// returning — ahead of the shard-queue send, so an acknowledged decision
+// always implies a journaled observation. *wal.Log implements it.
+//
+// The converse does not hold: a record journaled immediately before a
+// crash, a DropNewest shed, or a pool close may never have been applied.
+// Boot replay therefore re-applies the journal tail with at-least-once
+// semantics — exactly-once for everything acknowledged.
+type Journal interface {
+	Append(channel string, seq uint64, action, audience []float64) error
+}
+
+// VerdictSink receives every non-warmup, error-free verdict as it is
+// scored, from the shard workers (implementations must be safe for
+// concurrent use — the daemon's sink is the mutex-guarded verdict
+// ledger). channelSeq is the observation's journal sequence (0 without a
+// journal).
+type VerdictSink interface {
+	Record(channel string, channelSeq uint64, res aovlis.Result)
 }
 
 // job is one queued observation bound to its channel, or — when control is
@@ -206,6 +233,7 @@ type job struct {
 	audience []float64
 	out      chan Outcome // buffered(1): the worker's send never blocks
 	enq      time.Time    // submission time, for the queue-wait histogram
+	seq      uint64       // journal sequence (0 without a journal)
 
 	control func()
 }
@@ -243,6 +271,13 @@ type channel struct {
 
 	batches atomic.Uint64 // scoring rounds executed (batched mode only)
 	batched atomic.Uint64 // observations scored across those rounds
+
+	// walSeq is the channel's journal sequence counter (last assigned;
+	// 1-based, node-local: it restarts when the channel is attached
+	// fresh). applied is the highest journal sequence already scored —
+	// what a checkpoint records as the channel's replay floor.
+	walSeq  atomic.Uint64
+	applied atomic.Uint64
 }
 
 // shard is one worker goroutine and its ingest queue. The gate makes
@@ -362,6 +397,13 @@ type DetectorPool struct {
 	// with one atomic read and never blocks on writers. Attach/Detach
 	// build a fresh map under mu and publish it atomically.
 	chans atomic.Pointer[map[string]*channel]
+
+	// journal and sink are the durability hooks: both nil by default and
+	// set once on the boot path (AttachJournal / AttachVerdictSink)
+	// before concurrent traffic starts — the wiring order is restore,
+	// attach sink, replay, attach journal, serve.
+	journal Journal
+	sink    VerdictSink
 
 	mu     sync.Mutex // guards channel-table mutation and closed
 	closed bool
@@ -580,7 +622,20 @@ func (p *DetectorPool) finishJob(ch *channel, j *job, res aovlis.Result, err err
 	if err == nil && ch.degraded.Load() {
 		ch.shedScored.Add(1)
 	}
-	j.out <- Outcome{Result: res, Err: err}
+	if j.seq != 0 {
+		// CAS-max: concurrent same-channel submitters can apply out of
+		// sequence order, and the floor must never move backwards.
+		for {
+			cur := ch.applied.Load()
+			if j.seq <= cur || ch.applied.CompareAndSwap(cur, j.seq) {
+				break
+			}
+		}
+	}
+	if err == nil && !res.Warmup && p.sink != nil {
+		p.sink.Record(ch.id, j.seq, res)
+	}
+	j.out <- Outcome{Result: res, Err: err, Seq: j.seq}
 }
 
 // refreshFiltered re-reads the detector's ADOS filter and tier gauges.
@@ -698,7 +753,7 @@ func (p *DetectorPool) Channels() []string {
 // The caller must treat the feature slices as frozen until the outcome is
 // delivered (the pool does not copy them).
 func (p *DetectorPool) Submit(id string, actionFeat, audienceFeat []float64) (<-chan Outcome, error) {
-	return p.submit(id, actionFeat, audienceFeat, make(chan Outcome, 1))
+	return p.submit(id, actionFeat, audienceFeat, make(chan Outcome, 1), 0)
 }
 
 // SubmitInto is Submit with a caller-owned outcome channel, so high-rate
@@ -711,7 +766,7 @@ func (p *DetectorPool) SubmitInto(id string, actionFeat, audienceFeat []float64,
 	if cap(out) < 1 {
 		return fmt.Errorf("serve: SubmitInto outcome channel must be buffered (cap ≥ 1)")
 	}
-	_, err := p.submit(id, actionFeat, audienceFeat, out)
+	_, err := p.submit(id, actionFeat, audienceFeat, out, 0)
 	return err
 }
 
@@ -719,7 +774,12 @@ func (p *DetectorPool) SubmitInto(id string, actionFeat, audienceFeat []float64,
 // so the synchronous Observe path can recycle channels through a pool. The
 // whole path is lock-free on pool-global state: one atomic map load, then
 // the per-shard send gate.
-func (p *DetectorPool) submit(id string, actionFeat, audienceFeat []float64, out chan Outcome) (chan Outcome, error) {
+//
+// replaySeq is 0 for live traffic; the boot replay path passes the
+// record's original journal sequence instead, which suppresses
+// re-journaling while keeping the applied floor and ledger entries
+// aligned with the original run.
+func (p *DetectorPool) submit(id string, actionFeat, audienceFeat []float64, out chan Outcome, replaySeq uint64) (chan Outcome, error) {
 	ch, ok := p.lookup(id)
 	if !ok {
 		if p.isClosed() {
@@ -736,7 +796,22 @@ func (p *DetectorPool) submit(id string, actionFeat, audienceFeat []float64, out
 		p.m.rejected.Inc()
 		return nil, fmt.Errorf("%w (admission reject, channel %q, shard %d)", ErrOverloaded, id, ch.shard.index)
 	}
-	j := job{ch: ch, action: actionFeat, audience: audienceFeat, out: out, enq: time.Now()}
+	j := job{ch: ch, action: actionFeat, audience: audienceFeat, out: out, enq: time.Now(), seq: replaySeq}
+	if replaySeq == 0 && p.journal != nil {
+		// Durability before acknowledgement: the journal append (which
+		// fsyncs before returning) happens ahead of the queue send, so no
+		// outcome — and no daemon decision line — can exist for an
+		// unjournaled observation. The inverse window is accepted: a
+		// record journaled here may still miss its enqueue (DropNewest
+		// shed, pool close), and boot replay will apply it once — the
+		// at-least-once edge of the contract.
+		j.seq = ch.walSeq.Add(1)
+		if err := p.journal.Append(ch.id, j.seq, actionFeat, audienceFeat); err != nil {
+			ch.errors.Add(1)
+			p.m.errors.Inc()
+			return nil, fmt.Errorf("serve: journal append (channel %q): %w", id, err)
+		}
+	}
 	// The gauge is raised before the send so the worker's decrement can
 	// never observe it at zero.
 	ch.pending.Add(1)
@@ -769,13 +844,76 @@ var outcomeChans = sync.Pool{New: func() any { return make(chan Outcome, 1) }}
 // synchronous convenience over Submit.
 func (p *DetectorPool) Observe(id string, actionFeat, audienceFeat []float64) (aovlis.Result, error) {
 	out := outcomeChans.Get().(chan Outcome)
-	if _, err := p.submit(id, actionFeat, audienceFeat, out); err != nil {
+	if _, err := p.submit(id, actionFeat, audienceFeat, out, 0); err != nil {
 		outcomeChans.Put(out)
 		return aovlis.Result{}, err
 	}
 	o := <-out
 	outcomeChans.Put(out)
 	return o.Result, o.Err
+}
+
+// ReplayObserve scores one journaled observation synchronously without
+// re-journaling it, carrying its original sequence so the applied floor
+// and any verdict-sink entries line up with the original run. It is the
+// boot path's replay primitive, called after the snapshot restore and
+// before AttachJournal.
+func (p *DetectorPool) ReplayObserve(id string, seq uint64, actionFeat, audienceFeat []float64) (aovlis.Result, error) {
+	if seq == 0 {
+		return aovlis.Result{}, fmt.Errorf("serve: ReplayObserve requires a journal sequence")
+	}
+	out := outcomeChans.Get().(chan Outcome)
+	if _, err := p.submit(id, actionFeat, audienceFeat, out, seq); err != nil {
+		outcomeChans.Put(out)
+		return aovlis.Result{}, err
+	}
+	o := <-out
+	outcomeChans.Put(out)
+	return o.Result, o.Err
+}
+
+// AttachJournal sets the pool's write-ahead journal and seeds the
+// per-channel sequence counters: seed maps channel id to the highest
+// sequence already journaled or checkpointed for it, so newly assigned
+// sequences continue after the recovered history instead of colliding
+// with it. It must be called on the boot path, before concurrent
+// submissions start (the daemon's order: restore snapshot, attach sink,
+// replay journal, attach journal, serve).
+func (p *DetectorPool) AttachJournal(j Journal, seed map[string]uint64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.journal = j
+	for id, seq := range seed {
+		ch, ok := p.lookup(id)
+		if !ok {
+			continue
+		}
+		if seq > ch.walSeq.Load() {
+			ch.walSeq.Store(seq)
+		}
+		if seq > ch.applied.Load() {
+			ch.applied.Store(seq)
+		}
+	}
+}
+
+// AttachVerdictSink sets the pool's verdict sink. Like AttachJournal it
+// belongs to the boot path: attach it before traffic (and before replay,
+// so replayed verdicts are recorded too).
+func (p *DetectorPool) AttachVerdictSink(s VerdictSink) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.sink = s
+}
+
+// AppliedSeq reports the channel's applied journal floor (0 for unknown
+// channels or journal-less pools).
+func (p *DetectorPool) AppliedSeq(id string) uint64 {
+	ch, ok := p.lookup(id)
+	if !ok {
+		return 0
+	}
+	return ch.applied.Load()
 }
 
 // Stats snapshots one channel's counters.

@@ -109,25 +109,30 @@ func (p *DetectorPool) quiesce(ch *channel, fn func()) error {
 // encoding runs inside the shard worker (so no Observe is concurrent with
 // it on that shard), the returned buffer is handed back to the caller for
 // the slow file I/O. The returned duration is how long the shard was held.
-func (p *DetectorPool) encodeQuiesced(ch *channel, snap Snapshotter) (*bytes.Buffer, time.Duration, error) {
+func (p *DetectorPool) encodeQuiesced(ch *channel, snap Snapshotter) (*bytes.Buffer, time.Duration, uint64, error) {
 	var (
 		buf     bytes.Buffer
 		encErr  error
 		quiesce time.Duration
+		applied uint64
 	)
 	err := p.quiesce(ch, func() {
 		start := time.Now()
 		encErr = snap.Snapshot(&buf)
+		// Read the applied journal floor inside the quiesce: every job
+		// queued before the control job has finished, so this is exactly
+		// the sequence the encoded state covers.
+		applied = ch.applied.Load()
 		quiesce = time.Since(start)
 		p.m.quiesce.Observe(quiesce.Seconds())
 	})
 	if err != nil {
-		return nil, 0, err
+		return nil, 0, 0, err
 	}
 	if encErr != nil {
-		return nil, quiesce, fmt.Errorf("serve: snapshotting channel %q: %w", ch.id, encErr)
+		return nil, quiesce, 0, fmt.Errorf("serve: snapshotting channel %q: %w", ch.id, encErr)
 	}
-	return &buf, quiesce, nil
+	return &buf, quiesce, applied, nil
 }
 
 // Snapshot checkpoints every attached channel into dir: one atomically
@@ -173,7 +178,7 @@ func (p *DetectorPool) Snapshot(dir string) (Report, error) {
 			// Encode inside the shard worker, write outside it. Channels on
 			// the same shard serialise at the shard queue; channels on
 			// different shards proceed in parallel.
-			buf, quiesced, err := p.encodeQuiesced(ch, snap)
+			buf, quiesced, applied, err := p.encodeQuiesced(ch, snap)
 			var entry snapshot.ChannelEntry
 			if err == nil {
 				var size int64
@@ -186,6 +191,7 @@ func (p *DetectorPool) Snapshot(dir string) (Report, error) {
 				entry = snapshot.ChannelEntry{
 					ID: ch.id, File: file,
 					Bytes: size, SHA256: sum, Shard: ch.shard.index,
+					WALSeq: applied,
 				}
 			}
 			mu.Lock()
@@ -256,7 +262,7 @@ func (p *DetectorPool) ExportChannel(id string, w io.Writer) error {
 	if !okSnap {
 		return fmt.Errorf("%w (channel %q)", ErrNotSnapshottable, id)
 	}
-	buf, _, err := p.encodeQuiesced(ch, snap)
+	buf, _, _, err := p.encodeQuiesced(ch, snap)
 	if err != nil {
 		return err
 	}

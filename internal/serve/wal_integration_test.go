@@ -1,0 +1,337 @@
+package serve
+
+// Kill-and-restart integration tests for the ingest WAL (ISSUE 9): a pool
+// rebuilt after an abrupt crash must replay its journal tail and continue
+// every channel bit-identically to a reference pool that never stopped —
+// including when the crash tears the final journal record, and when the
+// replay floor comes from a checkpoint manifest. Run under -race this is
+// also the shard-confinement proof for the journal/sink hot path.
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"aovlis"
+	"aovlis/internal/snapshot"
+	"aovlis/internal/wal"
+)
+
+// walTestStream drives total steps for each channel through pool, returning
+// the per-channel result sequences in submission order.
+func walTestStream(t *testing.T, p *DetectorPool, ids []string, series map[string][2][][]float64, from, to int) map[string][]aovlis.Result {
+	t.Helper()
+	got := make(map[string][]aovlis.Result, len(ids))
+	for step := from; step < to; step++ {
+		for _, id := range ids {
+			s := series[id]
+			res, err := p.Observe(id, s[0][step], s[1][step])
+			if err != nil {
+				t.Fatalf("channel %s step %d: %v", id, step, err)
+			}
+			got[id] = append(got[id], res)
+		}
+	}
+	return got
+}
+
+// walTestPool builds a pool with channels cloned from tmpl.
+func walTestPool(t *testing.T, tmpl *aovlis.Detector, ids []string) *DetectorPool {
+	t.Helper()
+	p := newTestPool(t, Config{Shards: 3, QueueDepth: 64, Policy: Block})
+	for _, id := range ids {
+		det, err := tmpl.Clone()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := p.Attach(id, det); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return p
+}
+
+func requireSameSequences(t *testing.T, label string, want, got map[string][]aovlis.Result) {
+	t.Helper()
+	for id, w := range want {
+		g := got[id]
+		if len(g) != len(w) {
+			t.Fatalf("%s: channel %s has %d verdicts, want %d", label, id, len(g), len(w))
+		}
+		for i := range w {
+			if !sameResult(w[i], g[i]) {
+				t.Fatalf("%s: channel %s verdict %d diverged: %+v vs %+v", label, id, i, g[i], w[i])
+			}
+		}
+	}
+}
+
+// crashAndReplay simulates a kill -9 after firstLeg acknowledged
+// observations: the crashed pool's in-memory state is discarded, a fresh
+// pool is rebuilt from the detector template (no checkpoint), the journal
+// is recovered from walDir and replayed, and the journal is re-attached
+// for the second leg. Returns the replayed verdicts and the revived pool.
+func crashAndReplay(t *testing.T, tmpl *aovlis.Detector, ids []string, walDir string) (map[string][]aovlis.Result, *DetectorPool) {
+	t.Helper()
+	recovered, err := wal.Open(walDir, wal.Options{})
+	if err != nil {
+		t.Fatalf("reopen wal: %v", err)
+	}
+	t.Cleanup(func() { recovered.Close() })
+
+	revived := walTestPool(t, tmpl, ids)
+	replayed := make(map[string][]aovlis.Result, len(ids))
+	if err := recovered.Replay(func(r wal.Record) error {
+		res, err := revived.ReplayObserve(r.Channel, r.Seq, r.Action, r.Audience)
+		if err != nil {
+			return fmt.Errorf("replay %s seq %d: %w", r.Channel, r.Seq, err)
+		}
+		replayed[r.Channel] = append(replayed[r.Channel], res)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	revived.AttachJournal(recovered, recovered.MaxSeqs())
+	return replayed, revived
+}
+
+// TestPoolWALKillAndReplayBitIdentical is the crash drill without a
+// checkpoint: every acknowledged observation must survive a kill -9
+// through the journal alone, and the revived pool's verdicts — both the
+// replayed first leg and the live second leg — must be bit-identical to
+// an uninterrupted reference run.
+func TestPoolWALKillAndReplayBitIdentical(t *testing.T) {
+	const (
+		channels = 5
+		firstLeg = 17
+		total    = 40
+	)
+	tmpl := trainTemplate(t)
+	ids := make([]string, channels)
+	series := make(map[string][2][][]float64, channels)
+	for i := range ids {
+		ids[i] = fmt.Sprintf("wal-%d", i)
+		act, aud := channelSeries(900+int64(i), total)
+		series[ids[i]] = [2][][]float64{act, aud}
+	}
+
+	// Reference: one pool, never interrupted.
+	ref := walTestPool(t, tmpl, ids)
+	refResults := walTestStream(t, ref, ids, series, 0, total)
+
+	// Victim: journal attached, killed (state abandoned, journal left
+	// as-is on disk) after firstLeg acknowledged observations.
+	walDir := t.TempDir()
+	j, err := wal.Open(walDir, wal.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim := walTestPool(t, tmpl, ids)
+	victim.AttachJournal(j, nil)
+	firstResults := walTestStream(t, victim, ids, series, 0, firstLeg)
+	if err := victim.Close(); err != nil { // kill: drop state, keep disk
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	replayed, revived := crashAndReplay(t, tmpl, ids, walDir)
+	for id, want := range refResults {
+		requireSameSequences(t, "replayed leg", map[string][]aovlis.Result{id: want[:firstLeg]}, map[string][]aovlis.Result{id: replayed[id]})
+		requireSameSequences(t, "pre-crash leg", map[string][]aovlis.Result{id: want[:firstLeg]}, map[string][]aovlis.Result{id: firstResults[id]})
+		if got := revived.AppliedSeq(id); got != firstLeg {
+			t.Fatalf("channel %s applied floor %d after replay, want %d", id, got, firstLeg)
+		}
+	}
+	secondResults := walTestStream(t, revived, ids, series, firstLeg, total)
+	for id, want := range refResults {
+		requireSameSequences(t, "post-crash leg", map[string][]aovlis.Result{id: want[firstLeg:]}, map[string][]aovlis.Result{id: secondResults[id]})
+	}
+}
+
+// TestPoolWALReplayTornFinalRecord repeats the crash drill with a torn
+// final record — the expected artifact of a kill -9 mid-write. The torn
+// frame was never fsynced, so it was never acknowledged; recovery must
+// drop it silently and the replayed history must still be bit-identical.
+func TestPoolWALReplayTornFinalRecord(t *testing.T) {
+	const (
+		channels = 3
+		firstLeg = 12
+		total    = 24
+	)
+	tmpl := trainTemplate(t)
+	ids := make([]string, channels)
+	series := make(map[string][2][][]float64, channels)
+	for i := range ids {
+		ids[i] = fmt.Sprintf("torn-%d", i)
+		act, aud := channelSeries(3100+int64(i), total)
+		series[ids[i]] = [2][][]float64{act, aud}
+	}
+
+	ref := walTestPool(t, tmpl, ids)
+	refResults := walTestStream(t, ref, ids, series, 0, total)
+
+	walDir := t.TempDir()
+	j, err := wal.Open(walDir, wal.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim := walTestPool(t, tmpl, ids)
+	victim.AttachJournal(j, nil)
+	walTestStream(t, victim, ids, series, 0, firstLeg)
+	if err := victim.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Tear the tail: append a prefix of a valid frame to the last
+	// segment, as if the process died mid-write.
+	segs, err := filepath.Glob(filepath.Join(walDir, "wal-*.seg"))
+	if err != nil || len(segs) == 0 {
+		t.Fatalf("segments: %v, %v", segs, err)
+	}
+	torn := wal.AppendRecord(nil, wal.Record{
+		Channel:  ids[0],
+		Seq:      uint64(firstLeg + 1),
+		Action:   series[ids[0]][0][firstLeg],
+		Audience: series[ids[0]][1][firstLeg],
+	})
+	f, err := os.OpenFile(segs[len(segs)-1], os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write(torn[:len(torn)-7]); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	replayed, revived := crashAndReplay(t, tmpl, ids, walDir)
+	for id, want := range refResults {
+		requireSameSequences(t, "torn replay", map[string][]aovlis.Result{id: want[:firstLeg]}, map[string][]aovlis.Result{id: replayed[id]})
+	}
+	secondResults := walTestStream(t, revived, ids, series, firstLeg, total)
+	for id, want := range refResults {
+		requireSameSequences(t, "torn post-crash", map[string][]aovlis.Result{id: want[firstLeg:]}, map[string][]aovlis.Result{id: secondResults[id]})
+	}
+}
+
+// TestPoolWALReplayAfterCheckpointFloor is the full daemon boot path in
+// miniature: checkpoint mid-stream (recording per-channel WAL floors in
+// the manifest), truncate covered journal segments, keep streaming, crash,
+// then restore the snapshot and replay only the journal records above each
+// channel's manifest floor. The result must still be bit-identical, with
+// no record applied twice.
+func TestPoolWALReplayAfterCheckpointFloor(t *testing.T) {
+	const (
+		channels   = 4
+		checkpoint = 10
+		crashAt    = 19
+		total      = 32
+	)
+	tmpl := trainTemplate(t)
+	ids := make([]string, channels)
+	series := make(map[string][2][][]float64, channels)
+	for i := range ids {
+		ids[i] = fmt.Sprintf("floor-%d", i)
+		act, aud := channelSeries(5200+int64(i), total)
+		series[ids[i]] = [2][][]float64{act, aud}
+	}
+
+	ref := walTestPool(t, tmpl, ids)
+	refResults := walTestStream(t, ref, ids, series, 0, total)
+
+	walDir, snapDir := t.TempDir(), t.TempDir()
+	// Tiny segments force rotation so Truncate has sealed segments to drop.
+	j, err := wal.Open(walDir, wal.Options{SegmentBytes: 2048})
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim := walTestPool(t, tmpl, ids)
+	victim.AttachJournal(j, nil)
+	walTestStream(t, victim, ids, series, 0, checkpoint)
+
+	// Daemon checkpoint order: snapshot, then truncate the journal up to
+	// the manifest's per-channel floors.
+	if _, err := victim.Snapshot(snapDir); err != nil {
+		t.Fatal(err)
+	}
+	m, err := snapshot.ReadManifest(snapDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cover := make(map[string]uint64, len(m.Channels))
+	for _, e := range m.Channels {
+		if e.WALSeq != checkpoint {
+			t.Fatalf("manifest floor for %s is %d, want %d", e.ID, e.WALSeq, checkpoint)
+		}
+		cover[e.ID] = e.WALSeq
+	}
+	if _, err := j.Truncate(cover); err != nil {
+		t.Fatal(err)
+	}
+
+	walTestStream(t, victim, ids, series, checkpoint, crashAt)
+	if err := victim.Close(); err != nil { // kill -9: manifest + journal survive
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Boot: restore the checkpoint, replay the journal tail above each
+	// channel's floor, seed the sequence counters, serve.
+	recovered, err := wal.Open(walDir, wal.Options{SegmentBytes: 2048})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { recovered.Close() })
+	revived, err := RestorePool(snapDir, Config{Shards: 2, QueueDepth: 64, Policy: Block})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { revived.Close() })
+
+	floors := make(map[string]uint64, len(m.Channels))
+	for _, e := range m.Channels {
+		floors[e.ID] = e.WALSeq
+	}
+	replayCount := make(map[string]int, channels)
+	if err := recovered.Replay(func(r wal.Record) error {
+		if r.Seq <= floors[r.Channel] {
+			return nil // covered by the checkpoint
+		}
+		if _, err := revived.ReplayObserve(r.Channel, r.Seq, r.Action, r.Audience); err != nil {
+			return fmt.Errorf("replay %s seq %d: %w", r.Channel, r.Seq, err)
+		}
+		replayCount[r.Channel]++
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	seed := recovered.MaxSeqs()
+	for id, floor := range floors {
+		if floor > seed[id] {
+			seed[id] = floor
+		}
+	}
+	revived.AttachJournal(recovered, seed)
+
+	for _, id := range ids {
+		if replayCount[id] != crashAt-checkpoint {
+			t.Fatalf("channel %s replayed %d records, want %d", id, replayCount[id], crashAt-checkpoint)
+		}
+		if got := revived.AppliedSeq(id); got != crashAt {
+			t.Fatalf("channel %s applied floor %d, want %d", id, got, crashAt)
+		}
+	}
+	secondResults := walTestStream(t, revived, ids, series, crashAt, total)
+	for id, want := range refResults {
+		requireSameSequences(t, "floor post-crash", map[string][]aovlis.Result{id: want[crashAt:]}, map[string][]aovlis.Result{id: secondResults[id]})
+	}
+}

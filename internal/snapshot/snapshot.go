@@ -55,6 +55,10 @@ const (
 	// manifest (serve.ExportChannel emits it): the importer can reject a
 	// snapshot PUT to the wrong channel id before restoring anything.
 	KindChannelExport = "serve.ChannelExport"
+	// KindLedgerBatch is one committed batch of the tamper-evident verdict
+	// ledger (internal/ledger): a Merkle-batched run of verdicts whose root
+	// chains to the previous batch's.
+	KindLedgerBatch = "ledger.Batch"
 )
 
 // Header is the self-describing envelope at the head of every snapshot
@@ -171,14 +175,16 @@ func WriteFileAtomic(path string, fill func(io.Writer) error) (size int64, sum s
 	// later commit (the manifest) while this one reverts, leaving the
 	// manifest pointing at a file that no longer exists — the torn state
 	// this function exists to rule out.
-	if err = syncDir(dir); err != nil {
+	if err = SyncDir(dir); err != nil {
 		return 0, "", err
 	}
 	return fi.Size(), hex.EncodeToString(h.Sum(nil)), nil
 }
 
-// syncDir fsyncs a directory so committed renames inside it are durable.
-func syncDir(dir string) error {
+// SyncDir fsyncs a directory so committed renames and removals inside it
+// are durable. Exported for the sibling persistence packages (the WAL and
+// the verdict ledger) that share this substrate's commit discipline.
+func SyncDir(dir string) error {
 	d, err := os.Open(dir)
 	if err != nil {
 		return fmt.Errorf("snapshot: opening dir %s for sync: %w", dir, err)
@@ -209,6 +215,13 @@ type ChannelEntry struct {
 	// (informational: shard assignment is re-derived from the id on
 	// restore).
 	Shard int `json:"shard"`
+	// WALSeq is the channel's highest journaled sequence already applied
+	// when this snapshot quiesced — the replay floor: on boot the daemon
+	// skips WAL records with Seq <= WALSeq because their effects are
+	// inside the snapshot. Zero for pools running without a journal
+	// (JSON-additive: older manifests decode with a zero floor, which
+	// replays conservatively).
+	WALSeq uint64 `json:"wal_seq,omitempty"`
 }
 
 // Manifest indexes one committed pool snapshot. It is written last, with

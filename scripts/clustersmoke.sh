@@ -8,10 +8,12 @@
 #
 #   1. TestClusterKillNodeSoak — 3-node fleet + router, seeded streams,
 #      one node SIGKILLed mid-stream. Parses its `SOAK-RESULT ...` line
-#      and fails unless lost=0 (every accepted segment answered), at
-#      least one channel replayed bit-equal to the single-node reference,
-#      and at least one channel exercised the at-least-last-checkpoint
-#      path (killed with un-checkpointed segments in flight).
+#      and fails unless lost=0 (every accepted segment answered), EVERY
+#      channel replayed bit-equal to the single-node reference (ISSUE 9:
+#      with the ingest WAL shared, failover replays the victim's journal
+#      tail, so even channels killed with segments in flight converge
+#      exactly — the old at-least-last-checkpoint class is retired), and
+#      at least one channel actually exercised that kill-in-flight path.
 #
 #   2. TestClusterThroughput — 3-node fastmath+tiered fleet behind the
 #      router under the open-loop HTTP loadgen. Parses `CLUSTER-RESULT
@@ -56,18 +58,23 @@ if [ -z "$SOAK" ]; then
 fi
 echo "clustersmoke: $SOAK"
 LOST=$(field "$SOAK" lost)
+CHANNELS=$(field "$SOAK" channels)
 BITEQ=$(field "$SOAK" bitequal)
-ATLEAST=$(field "$SOAK" atleastcheckpoint)
-if [ -z "$LOST" ] || [ -z "$BITEQ" ] || [ -z "$ATLEAST" ]; then
-    echo "clustersmoke: SOAK-RESULT line is missing lost/bitequal/atleastcheckpoint" >&2
+KILLED=$(field "$SOAK" killinflight)
+if [ -z "$LOST" ] || [ -z "$CHANNELS" ] || [ -z "$BITEQ" ] || [ -z "$KILLED" ]; then
+    echo "clustersmoke: SOAK-RESULT line is missing lost/channels/bitequal/killinflight" >&2
     exit 1
 fi
 if [ "$LOST" -ne 0 ]; then
     echo "clustersmoke: FAIL — accepted-segment loss across failover (lost=$LOST)" >&2
     exit 1
 fi
-if [ "$BITEQ" -eq 0 ] || [ "$ATLEAST" -eq 0 ]; then
-    echo "clustersmoke: FAIL — soak did not exercise both consistency classes (bitequal=$BITEQ atleastcheckpoint=$ATLEAST)" >&2
+if [ "$BITEQ" -ne "$CHANNELS" ]; then
+    echo "clustersmoke: FAIL — only $BITEQ of $CHANNELS channels bit-equal; WAL failover replay must cover all of them" >&2
+    exit 1
+fi
+if [ "$KILLED" -eq 0 ]; then
+    echo "clustersmoke: FAIL — no channel was killed with segments in flight; the soak proved nothing" >&2
     exit 1
 fi
 

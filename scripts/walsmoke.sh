@@ -1,0 +1,77 @@
+#!/usr/bin/env sh
+# walsmoke.sh — enforce the crash-durability contract (ISSUE 9).
+#
+# Usage: walsmoke.sh [BENCH.md] [result-file]
+#
+# Runs the multi-process kill -9 drill from cmd/aovlisd
+# (TestWALCrashReplaySmoke): a daemon with -wal-dir/-ledger-dir is
+# SIGKILLed mid-stream, restarted, and audited. Parses its
+# `WAL-RESULT ...` line and fails unless
+#
+#   - lost=0      — every acknowledged segment is accounted for after the
+#                   journal replay (the tentpole durability guarantee);
+#   - ledger=ok   — the surviving verdict ledger passes `aovlisctl verify`
+#                   and still FAILS it after a single flipped byte;
+#   - acked >= the BENCH.md §9 floor
+#     (`<!-- wal-baseline: min_acked=NNN -->`) — so the drill cannot
+#     silently degenerate into streaming (and therefore proving) nothing.
+#
+# The optional result-file argument skips the go test run and gates an
+# existing WAL-RESULT capture instead; the script regression tests use it
+# to pin this gate's behavior without spawning processes.
+set -eu
+
+BENCH_MD=${1:-BENCH.md}
+RESULT_FILE=${2:-}
+
+MIN_ACKED=$(sed -n "s/.*wal-baseline: min_acked=\\([0-9][0-9]*\\).*/\\1/p" "$BENCH_MD" | head -n1)
+if [ -z "$MIN_ACKED" ]; then
+    echo "walsmoke: no wal-baseline marker in $BENCH_MD" >&2
+    exit 1
+fi
+
+OUT=$(mktemp)
+trap 'rm -f "$OUT"' EXIT
+
+if [ -n "$RESULT_FILE" ]; then
+    cp "$RESULT_FILE" "$OUT"
+else
+    if ! go test ./cmd/aovlisd/ -run 'TestWALCrashReplaySmoke$' -count=1 -v -timeout 300s >"$OUT" 2>&1; then
+        cat "$OUT"
+        echo "walsmoke: FAIL — crash-replay smoke test failed" >&2
+        exit 1
+    fi
+fi
+
+RESULT=$(sed -n 's/.*\(WAL-RESULT .*\)/\1/p' "$OUT" | head -n1)
+if [ -z "$RESULT" ]; then
+    cat "$OUT"
+    echo "walsmoke: no WAL-RESULT line — test renamed or skipped?" >&2
+    exit 1
+fi
+echo "walsmoke: $RESULT"
+
+field() {
+    printf '%s\n' "$RESULT" | sed -n "s/.*$1=\\([0-9][0-9]*\\).*/\\1/p"
+}
+
+LOST=$(field lost)
+ACKED=$(field acked)
+LEDGER=$(printf '%s\n' "$RESULT" | sed -n 's/.*ledger=\([a-z-]*\).*/\1/p')
+if [ -z "$LOST" ] || [ -z "$ACKED" ] || [ -z "$LEDGER" ]; then
+    echo "walsmoke: WAL-RESULT line is missing lost/acked/ledger" >&2
+    exit 1
+fi
+if [ "$LOST" -ne 0 ]; then
+    echo "walsmoke: FAIL — acknowledged segments lost across kill -9 (lost=$LOST)" >&2
+    exit 1
+fi
+if [ "$LEDGER" != "ok" ]; then
+    echo "walsmoke: FAIL — verdict ledger audit did not pass (ledger=$LEDGER)" >&2
+    exit 1
+fi
+if [ "$ACKED" -lt "$MIN_ACKED" ]; then
+    echo "walsmoke: FAIL — only $ACKED segments acknowledged, floor is $MIN_ACKED; the drill proved too little" >&2
+    exit 1
+fi
+echo "walsmoke: OK"

@@ -122,3 +122,67 @@ func TestClustersmokeMissingBaselineFails(t *testing.T) {
 		t.Fatalf("missing-marker diagnostic missing:\n%s", got)
 	}
 }
+
+// The walsmoke gate parses a WAL-RESULT capture; the result-file seam
+// lets these pins run without spawning the multi-process drill.
+
+const walResult = "=== RUN   TestWALCrashReplaySmoke\nWAL-RESULT channels=4 acked=210 lost=0 replayed=90 ledger=ok\n--- PASS: TestWALCrashReplaySmoke\n"
+
+func TestWalsmokeHappyPath(t *testing.T) {
+	bench := writeTemp(t, "BENCH.md", "<!-- wal-baseline: min_acked=150 -->\n")
+	res := writeTemp(t, "result.txt", walResult)
+	got, err := runScript(t, "walsmoke.sh", bench, res)
+	if err != nil {
+		t.Fatalf("walsmoke failed on a passing capture: %v\n%s", err, got)
+	}
+	if !strings.Contains(got, "walsmoke: OK") {
+		t.Fatalf("OK verdict missing:\n%s", got)
+	}
+}
+
+func TestWalsmokeLossFails(t *testing.T) {
+	bench := writeTemp(t, "BENCH.md", "<!-- wal-baseline: min_acked=150 -->\n")
+	res := writeTemp(t, "result.txt", "WAL-RESULT channels=4 acked=210 lost=3 replayed=90 ledger=ok\n")
+	got, err := runScript(t, "walsmoke.sh", bench, res)
+	if err == nil {
+		t.Fatalf("walsmoke passed with lost=3:\n%s", got)
+	}
+	if !strings.Contains(got, "acknowledged segments lost") {
+		t.Fatalf("loss diagnostic missing:\n%s", got)
+	}
+}
+
+func TestWalsmokeLedgerTamperFails(t *testing.T) {
+	bench := writeTemp(t, "BENCH.md", "<!-- wal-baseline: min_acked=150 -->\n")
+	res := writeTemp(t, "result.txt", "WAL-RESULT channels=4 acked=210 lost=0 replayed=90 ledger=tamper-missed\n")
+	got, err := runScript(t, "walsmoke.sh", bench, res)
+	if err == nil {
+		t.Fatalf("walsmoke passed with a failed ledger audit:\n%s", got)
+	}
+	if !strings.Contains(got, "ledger audit did not pass") {
+		t.Fatalf("ledger diagnostic missing:\n%s", got)
+	}
+}
+
+func TestWalsmokeAckedFloorFails(t *testing.T) {
+	bench := writeTemp(t, "BENCH.md", "<!-- wal-baseline: min_acked=1000 -->\n")
+	res := writeTemp(t, "result.txt", walResult)
+	got, err := runScript(t, "walsmoke.sh", bench, res)
+	if err == nil {
+		t.Fatalf("walsmoke passed below the acked floor:\n%s", got)
+	}
+	if !strings.Contains(got, "the drill proved too little") {
+		t.Fatalf("floor diagnostic missing:\n%s", got)
+	}
+}
+
+func TestWalsmokeMissingBaselineFails(t *testing.T) {
+	bench := writeTemp(t, "BENCH.md", "no marker here\n")
+	got, err := runScript(t, "walsmoke.sh", bench)
+	if err == nil {
+		t.Fatalf("walsmoke passed without a baseline marker:\n%s", got)
+	}
+	if !strings.Contains(got, "no wal-baseline marker") {
+		t.Fatalf("missing-marker diagnostic missing:\n%s", got)
+	}
+}
