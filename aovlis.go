@@ -286,6 +286,14 @@ func (d *Detector) initRuntime(seedSamples []core.Sample) error {
 // Tau returns the calibrated anomaly threshold τ.
 func (d *Detector) Tau() float64 { return d.tau }
 
+// Dims reports the feature dimensions the detector scores
+// (Config.ActionDim, Config.AudienceDim). Serving front doors use it to
+// reject mis-dimensioned observations before they occupy queue space or
+// enter a durable journal.
+func (d *Detector) Dims() (actionDim, audienceDim int) {
+	return d.cfg.ActionDim, d.cfg.AudienceDim
+}
+
 // SetTau overrides the anomaly threshold (re-deriving the filter).
 func (d *Detector) SetTau(tau float64) error {
 	d.tau = tau

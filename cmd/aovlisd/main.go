@@ -415,16 +415,22 @@ func (d *daemon) snapshotNow() (serve.Report, error) {
 	d.lastSnapshot.Store(time.Now().UnixNano())
 	// Checkpoint commit order: the manifest is durable, so verdicts up to
 	// it can be sealed and journal segments covered by its per-channel
-	// floors can go. A ledger flush or WAL truncation failure does not
-	// invalidate the snapshot — surface it without failing the checkpoint,
-	// and leave the journal conservative (extra segments only mean extra
-	// replay, never loss).
+	// floors can go — but only in that order. Journal segments may be
+	// deleted only after the verdict ledger has flushed (the wal/ledger
+	// crash contract): the WAL replay is the sole way to rebuild verdicts
+	// that were pending in a failed flush, so on a flush error the
+	// truncate is skipped and the journal stays conservative until the
+	// next successful checkpoint. Neither failure invalidates the
+	// snapshot itself — surface them without failing the checkpoint
+	// (extra retained segments only mean extra replay, never loss).
+	ledgerFlushed := true
 	if d.ledger != nil {
 		if err := d.ledger.Flush(); err != nil {
+			ledgerFlushed = false
 			fmt.Fprintf(os.Stderr, "aovlisd: ledger flush after snapshot: %v\n", err)
 		}
 	}
-	if d.wal != nil {
+	if d.wal != nil && ledgerFlushed {
 		m, err := snapshot.ReadManifest(d.snapshotDir)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "aovlisd: rereading manifest for WAL truncation: %v\n", err)

@@ -23,9 +23,11 @@ import (
 	"time"
 
 	"aovlis"
+	"aovlis/internal/ledger"
 	"aovlis/internal/mat"
 	"aovlis/internal/serve"
 	"aovlis/internal/snapshot"
+	"aovlis/internal/wal"
 )
 
 // testTemplate trains a small detector once for the whole suite.
@@ -320,6 +322,80 @@ func TestSnapshotEndpointCommits(t *testing.T) {
 	}
 	if health["snapshot_dir"] != dir {
 		t.Fatalf("healthz snapshot_dir %v, want %v", health["snapshot_dir"], dir)
+	}
+}
+
+// TestSnapshotSkipsWALTruncateOnLedgerFlushFailure pins the checkpoint
+// commit order: journal segments may be deleted only after the verdict
+// ledger has flushed. A flush failure must leave every sealed segment in
+// place (WAL replay is the only way to rebuild the verdicts stuck in the
+// failed pending batch); the next successful checkpoint truncates.
+func TestSnapshotSkipsWALTruncateOnLedgerFlushFailure(t *testing.T) {
+	snapDir, walDir, ledgerDir := t.TempDir(), t.TempDir(), t.TempDir()
+	d, srv := newTestDaemon(t, 8, 0, snapDir)
+
+	// Wire durability by hand (openWAL/openLedger idioms, but with tiny WAL
+	// segments so checkpoint truncation has sealed files to remove, and a
+	// huge ledger batch so every verdict stays in the pending batch).
+	led, err := ledger.Open(ledgerDir, ledger.Options{BatchSize: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { led.Close() })
+	d.ledger = led
+	d.pool.AttachVerdictSink(ledgerSink{led})
+	j, err := wal.Open(walDir, wal.Options{SegmentBytes: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { j.Close() })
+	d.wal = j
+	d.pool.AttachJournal(j, nil)
+
+	actions, audience := testSeries(41, 60)
+	var body strings.Builder
+	for i := range actions {
+		body.WriteString(observeLine(actions[i], audience[i]) + "\n")
+	}
+	postObserve(t, srv, "flushfail", body.String())
+	if j.Segments() < 3 {
+		t.Fatalf("need sealed segments to observe truncation, got %d", j.Segments())
+	}
+	if led.Root().Pending == 0 {
+		t.Fatal("no pending verdicts; the flush under test would be a no-op")
+	}
+
+	// Sabotage the ledger directory so Flush's batch commit fails.
+	saved := ledgerDir + ".bak"
+	if err := os.Rename(ledgerDir, saved); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(ledgerDir, []byte("not a directory"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	before := j.Segments()
+	if _, err := d.snapshotNow(); err != nil {
+		t.Fatalf("snapshot must still commit on a ledger flush failure: %v", err)
+	}
+	if got := j.Segments(); got != before {
+		t.Fatalf("WAL truncated to %d segments after a failed ledger flush, want %d kept", got, before)
+	}
+
+	// Heal the ledger: the next checkpoint flushes and truncates.
+	if err := os.Remove(ledgerDir); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Rename(saved, ledgerDir); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.snapshotNow(); err != nil {
+		t.Fatal(err)
+	}
+	if got := j.Segments(); got != 1 {
+		t.Fatalf("WAL has %d segments after a clean checkpoint, want 1", got)
+	}
+	if led.Root().Pending != 0 || led.Root().Entries == 0 {
+		t.Fatalf("ledger not flushed after healing: %+v", led.Root())
 	}
 }
 

@@ -76,6 +76,15 @@ type tierStatser interface {
 	TierStats() ados.TierStats
 }
 
+// dimser is implemented by detectors that expose their expected feature
+// dimensions (notably *aovlis.Detector). Attach caches them so the
+// journaling accept path can reject mis-dimensioned observations up
+// front instead of journaling a record the detector will only ever score
+// as an error.
+type dimser interface {
+	Dims() (actionDim, audienceDim int)
+}
+
 // lifetimeCounter is implemented by detectors that carry stream-lifetime
 // counters across snapshots (notably *aovlis.Detector). Attach seeds the
 // channel's observed/detected counters from it, so a channel restored from
@@ -207,6 +216,12 @@ type Outcome struct {
 // crash, a DropNewest shed, or a pool close may never have been applied.
 // Boot replay therefore re-applies the journal tail with at-least-once
 // semantics — exactly-once for everything acknowledged.
+//
+// The pool serialises {sequence assignment, Append, queue send} per
+// channel (submit's walMu), so Append is called in strictly increasing
+// sequence order for any one channel; concurrent Appends for different
+// channels may still interleave (which is what lets *wal.Log group-commit
+// their fsyncs).
 type Journal interface {
 	Append(channel string, seq uint64, action, audience []float64) error
 }
@@ -275,9 +290,22 @@ type channel struct {
 	// walSeq is the channel's journal sequence counter (last assigned;
 	// 1-based, node-local: it restarts when the channel is attached
 	// fresh). applied is the highest journal sequence already scored —
-	// what a checkpoint records as the channel's replay floor.
+	// what a checkpoint records as the channel's replay floor. That floor
+	// is only sound because walMu serialises {assign seq, journal append,
+	// enqueue} for live submissions: enqueue order equals sequence order
+	// per channel, so applied = N implies every record ≤ N was applied and
+	// a checkpoint can never cover a journaled-but-unapplied record.
+	walMu   sync.Mutex
 	walSeq  atomic.Uint64
 	applied atomic.Uint64
+
+	// actionDim/audienceDim are the detector's expected feature dims,
+	// cached at Attach when the detector exposes them (0 = unknown). The
+	// journaling accept path refuses mis-dimensioned observations before
+	// they reach the journal: a record that can only ever score as an
+	// error must not enter the durable replay history.
+	actionDim   int
+	audienceDim int
 }
 
 // shard is one worker goroutine and its ingest queue. The gate makes
@@ -623,8 +651,10 @@ func (p *DetectorPool) finishJob(ch *channel, j *job, res aovlis.Result, err err
 		ch.shedScored.Add(1)
 	}
 	if j.seq != 0 {
-		// CAS-max: concurrent same-channel submitters can apply out of
-		// sequence order, and the floor must never move backwards.
+		// CAS-max. On the live path submit's walMu makes same-channel
+		// enqueues arrive in sequence order, so this max is a true floor
+		// (applied = N means everything ≤ N was applied); the CAS keeps it
+		// monotonic against AttachJournal seeding and replay regardless.
 		for {
 			cur := ch.applied.Load()
 			if j.seq <= cur || ch.applied.CompareAndSwap(cur, j.seq) {
@@ -693,6 +723,9 @@ func (p *DetectorPool) Attach(id string, det Detector) error {
 	fs, _ := det.(filterStatser)
 	ts, _ := det.(tierStatser)
 	ch := &channel{id: id, shard: p.shardFor(id), det: det, fstats: fs, tstats: ts}
+	if ds, ok := det.(dimser); ok {
+		ch.actionDim, ch.audienceDim = ds.Dims()
+	}
 	if sw, ok := det.(scoringModeSwitcher); ok {
 		ch.modeSwitch = sw
 		ch.baseFast, ch.baseTiered = sw.ScoringMode()
@@ -772,8 +805,9 @@ func (p *DetectorPool) SubmitInto(id string, actionFeat, audienceFeat []float64,
 
 // submit is Submit with a caller-supplied outcome channel (buffered, cap 1)
 // so the synchronous Observe path can recycle channels through a pool. The
-// whole path is lock-free on pool-global state: one atomic map load, then
-// the per-shard send gate.
+// path is lock-free on pool-global state: one atomic map load, then the
+// per-shard send gate. Journaled live submissions additionally serialise
+// on their channel's walMu (different channels stay independent).
 //
 // replaySeq is 0 for live traffic; the boot replay path passes the
 // record's original journal sequence instead, which suppresses
@@ -797,7 +831,18 @@ func (p *DetectorPool) submit(id string, actionFeat, audienceFeat []float64, out
 		return nil, fmt.Errorf("%w (admission reject, channel %q, shard %d)", ErrOverloaded, id, ch.shard.index)
 	}
 	j := job{ch: ch, action: actionFeat, audience: audienceFeat, out: out, enq: time.Now(), seq: replaySeq}
-	if replaySeq == 0 && p.journal != nil {
+	journaling := replaySeq == 0 && p.journal != nil
+	if journaling {
+		// A mis-dimensioned observation can only ever score as a detector
+		// error; refuse it here so it never enters the durable replay
+		// history (a journaled record must replay cleanly through Observe
+		// at the next boot).
+		if ch.actionDim > 0 && (len(actionFeat) != ch.actionDim || len(audienceFeat) != ch.audienceDim) {
+			ch.errors.Add(1)
+			p.m.errors.Inc()
+			return nil, fmt.Errorf("serve: channel %q: feature dims %d/%d, want %d/%d",
+				id, len(actionFeat), len(audienceFeat), ch.actionDim, ch.audienceDim)
+		}
 		// Durability before acknowledgement: the journal append (which
 		// fsyncs before returning) happens ahead of the queue send, so no
 		// outcome — and no daemon decision line — can exist for an
@@ -805,8 +850,23 @@ func (p *DetectorPool) submit(id string, actionFeat, audienceFeat []float64, out
 		// record journaled here may still miss its enqueue (DropNewest
 		// shed, pool close), and boot replay will apply it once — the
 		// at-least-once edge of the contract.
+		//
+		// walMu holds {assign seq, append, enqueue} together per channel:
+		// without it two submitters could enqueue out of sequence order,
+		// the CAS-max applied floor could cover a journaled-but-unapplied
+		// record, and a checkpoint in that window would let Truncate
+		// delete an acknowledged observation that was never applied —
+		// silent loss after a kill -9. Same-channel submitters pay the
+		// serialisation; cross-channel submitters still interleave inside
+		// the journal's group commit.
+		ch.walMu.Lock()
 		j.seq = ch.walSeq.Add(1)
 		if err := p.journal.Append(ch.id, j.seq, actionFeat, audienceFeat); err != nil {
+			// Un-assign the burned sequence — safe under walMu — so a
+			// rejected record leaves no gap in the journal numbering
+			// (cluster failover treats a gap as a degraded channel).
+			ch.walSeq.Add(^uint64(0))
+			ch.walMu.Unlock()
 			ch.errors.Add(1)
 			p.m.errors.Inc()
 			return nil, fmt.Errorf("serve: journal append (channel %q): %w", id, err)
@@ -815,7 +875,11 @@ func (p *DetectorPool) submit(id string, actionFeat, audienceFeat []float64, out
 	// The gauge is raised before the send so the worker's decrement can
 	// never observe it at zero.
 	ch.pending.Add(1)
-	if err := ch.shard.send(j, p.cfg.Policy == DropNewest); err != nil {
+	err := ch.shard.send(j, p.cfg.Policy == DropNewest)
+	if journaling {
+		ch.walMu.Unlock()
+	}
+	if err != nil {
 		ch.pending.Add(-1)
 		if errors.Is(err, ErrOverloaded) {
 			ch.dropped.Add(1)

@@ -8,9 +8,12 @@ package serve
 // also the shard-confinement proof for the journal/sink hot path.
 
 import (
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
+	"sync"
 	"testing"
 
 	"aovlis"
@@ -95,6 +98,143 @@ func crashAndReplay(t *testing.T, tmpl *aovlis.Detector, ids []string, walDir st
 	revived.AttachJournal(recovered, recovered.MaxSeqs())
 	return replayed, revived
 }
+
+// captureJournal is a Journal recording per-channel append order; fail,
+// when set, makes every Append return it.
+type captureJournal struct {
+	mu   sync.Mutex
+	seqs map[string][]uint64
+	fail error
+}
+
+func newCaptureJournal() *captureJournal {
+	return &captureJournal{seqs: make(map[string][]uint64)}
+}
+
+func (j *captureJournal) Append(ch string, seq uint64, _, _ []float64) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.fail != nil {
+		return j.fail
+	}
+	j.seqs[ch] = append(j.seqs[ch], seq)
+	return nil
+}
+
+// captureSink is a VerdictSink recording per-channel apply order.
+type captureSink struct {
+	mu   sync.Mutex
+	seqs map[string][]uint64
+}
+
+func newCaptureSink() *captureSink { return &captureSink{seqs: make(map[string][]uint64)} }
+
+func (s *captureSink) Record(ch string, seq uint64, _ aovlis.Result) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.seqs[ch] = append(s.seqs[ch], seq)
+}
+
+// TestSubmitJournalOrderUnderConcurrency pins the checkpoint-floor
+// soundness invariant: with concurrent same-channel submitters, journal
+// appends AND applies must both happen in sequence order per channel, so
+// the CAS-max applied floor can never cover a journaled-but-unapplied
+// record (which a checkpoint would then truncate away — silent loss of an
+// acknowledged observation after a kill -9). Run under -race this also
+// exercises submit's per-channel walMu.
+func TestSubmitJournalOrderUnderConcurrency(t *testing.T) {
+	const (
+		channels = 3
+		writers  = 8
+		perW     = 60
+	)
+	p := newTestPool(t, Config{Shards: 2, QueueDepth: 16, Policy: Block})
+	ids := make([]string, channels)
+	for i := range ids {
+		ids[i] = fmt.Sprintf("ord-%d", i)
+		if err := p.Attach(ids[i], &fakeDetector{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	j, sink := newCaptureJournal(), newCaptureSink()
+	p.AttachVerdictSink(sink)
+	p.AttachJournal(j, nil)
+
+	var wg sync.WaitGroup
+	for _, id := range ids {
+		for w := 0; w < writers; w++ {
+			wg.Add(1)
+			go func(id string) {
+				defer wg.Done()
+				feat := []float64{1, 2}
+				for k := 0; k < perW; k++ {
+					if _, err := p.Observe(id, feat, feat[:1]); err != nil {
+						t.Errorf("Observe(%s): %v", id, err)
+						return
+					}
+				}
+			}(id)
+		}
+	}
+	wg.Wait()
+
+	const total = writers * perW
+	for _, id := range ids {
+		if got := p.AppliedSeq(id); got != total {
+			t.Fatalf("channel %s applied floor %d, want %d", id, got, total)
+		}
+		for label, seqs := range map[string][]uint64{"journal": j.seqs[id], "apply": sink.seqs[id]} {
+			if len(seqs) != total {
+				t.Fatalf("channel %s %s saw %d records, want %d", id, label, len(seqs), total)
+			}
+			for i, seq := range seqs {
+				if seq != uint64(i+1) {
+					t.Fatalf("channel %s %s order broken at %d: seq %d (want %d)", id, label, i, seq, i+1)
+				}
+			}
+		}
+	}
+}
+
+// TestSubmitJournalRejectsAndRecovers pins two accept-path edges: a
+// journal append failure must not burn a sequence number (the next accept
+// reuses it, keeping the journal gap-free), and a mis-dimensioned
+// observation must be refused before it reaches the journal at all — a
+// record that can only score as an error would brick boot replay.
+func TestSubmitJournalRejectsAndRecovers(t *testing.T) {
+	p := newTestPool(t, Config{Shards: 1, QueueDepth: 8, Policy: Block})
+	if err := p.Attach("ch", &dimmedFakeDetector{}); err != nil {
+		t.Fatal(err)
+	}
+	j := newCaptureJournal()
+	p.AttachJournal(j, nil)
+
+	// Wrong dims (detector wants 4/2): refused up front, nothing journaled.
+	if _, err := p.Observe("ch", []float64{1}, []float64{1, 2}); err == nil || !strings.Contains(err.Error(), "feature dims") {
+		t.Fatalf("mis-dimensioned observe: %v, want feature-dims error", err)
+	}
+	if len(j.seqs["ch"]) != 0 {
+		t.Fatalf("mis-dimensioned observation reached the journal: %v", j.seqs["ch"])
+	}
+
+	// Append failure: surfaced, and the burned sequence is released.
+	j.fail = errors.New("disk on fire")
+	if _, err := p.Observe("ch", make([]float64, 4), make([]float64, 2)); err == nil || !errors.Is(err, j.fail) {
+		t.Fatalf("failed append observe: %v, want journal error", err)
+	}
+	j.fail = nil
+	if _, err := p.Observe("ch", make([]float64, 4), make([]float64, 2)); err != nil {
+		t.Fatal(err)
+	}
+	if want := []uint64{1}; len(j.seqs["ch"]) != 1 || j.seqs["ch"][0] != want[0] {
+		t.Fatalf("journal seqs %v, want %v (no gap after a failed append)", j.seqs["ch"], want)
+	}
+}
+
+// dimmedFakeDetector is a fakeDetector that advertises feature dims 4/2.
+type dimmedFakeDetector struct{ fakeDetector }
+
+func (d *dimmedFakeDetector) Dims() (int, int) { return 4, 2 }
 
 // TestPoolWALKillAndReplayBitIdentical is the crash drill without a
 // checkpoint: every acknowledged observation must survive a kill -9

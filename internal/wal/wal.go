@@ -65,12 +65,16 @@ type Record struct {
 }
 
 // Frame and payload bounds. The limits exist to fail fast on garbage
-// length prefixes instead of allocating gigabytes during recovery.
+// length prefixes instead of allocating gigabytes during recovery — and
+// they are enforced on the write side too (Append returns ErrRecordBounds),
+// because the channel and vector lengths travel as uint16s: an oversized
+// field would wrap on encode, producing a CRC-valid record that fails
+// structural decode and poisons recovery for everything after it.
 const (
 	frameHeader   = 8       // u32 length + u32 crc
 	maxPayload    = 1 << 24 // 16 MiB per record
 	maxChannelLen = 1 << 12
-	maxVectorLen  = 1 << 16
+	maxVectorLen  = 1<<16 - 1 // must stay representable in the uint16 length field
 )
 
 // Errors returned by the journal.
@@ -80,6 +84,12 @@ var (
 	// ErrCorruptRecord marks a record that failed its CRC or structural
 	// bounds; scanning stops at the first one.
 	ErrCorruptRecord = errors.New("wal: corrupt record")
+	// ErrRecordBounds is returned by Append for a record that cannot be
+	// represented within the framing limits (channel id longer than
+	// maxChannelLen, or a feature vector longer than maxVectorLen).
+	// Nothing is written and the log stays usable: the error is the
+	// caller's, not the journal's, so it is not sticky.
+	ErrRecordBounds = errors.New("wal: record exceeds framing bounds")
 	// errShortRecord marks a torn tail: fewer bytes remain than the frame
 	// announces. Scanners treat it like ErrCorruptRecord but it is kept
 	// distinct internally because a torn tail is the *expected* crash
@@ -90,7 +100,10 @@ var (
 var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 
 // AppendRecord appends the framed encoding of r to buf and returns the
-// extended slice. The layout is the one DecodeRecord reverses.
+// extended slice. The layout is the one DecodeRecord reverses. The caller
+// must keep r within the codec bounds (validateRecord; Log.Append
+// enforces them): the channel and vector lengths are framed as uint16s,
+// so an oversized field would wrap and decode as corrupt.
 func AppendRecord(buf []byte, r Record) []byte {
 	start := len(buf)
 	buf = append(buf, 0, 0, 0, 0, 0, 0, 0, 0) // frame header placeholder
@@ -110,6 +123,19 @@ func AppendRecord(buf []byte, r Record) []byte {
 	binary.LittleEndian.PutUint32(buf[start:], uint32(len(payload)))
 	binary.LittleEndian.PutUint32(buf[start+4:], crc32.Checksum(payload, castagnoli))
 	return buf
+}
+
+// validateRecord rejects fields DecodeRecord would refuse to read back —
+// the write-side half of the structural bounds, checked before a single
+// byte is framed.
+func validateRecord(channel string, action, audience []float64) error {
+	if len(channel) > maxChannelLen {
+		return fmt.Errorf("%w: channel id length %d > %d", ErrRecordBounds, len(channel), maxChannelLen)
+	}
+	if len(action) > maxVectorLen || len(audience) > maxVectorLen {
+		return fmt.Errorf("%w: vector lengths %d/%d > %d", ErrRecordBounds, len(action), len(audience), maxVectorLen)
+	}
+	return nil
 }
 
 // DecodeRecord decodes one framed record from the front of b, returning
@@ -428,7 +454,9 @@ func (l *Log) MaxSeqs() map[string]uint64 {
 // Append journals one accepted observation and returns once an fsync
 // covers it (group commit: concurrent appenders share fsyncs). A write or
 // sync failure is sticky — every later Append fails — because a journal
-// that can no longer promise durability must stop acknowledging.
+// that can no longer promise durability must stop acknowledging. A record
+// outside the framing bounds fails with ErrRecordBounds before anything
+// is written; that rejection is per-record, not sticky.
 func (l *Log) Append(channel string, seq uint64, action, audience []float64) error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
@@ -437,6 +465,9 @@ func (l *Log) Append(channel string, seq uint64, action, audience []float64) err
 	}
 	if l.failed != nil {
 		return l.failed
+	}
+	if err := validateRecord(channel, action, audience); err != nil {
+		return err
 	}
 	if l.size >= l.segBytes {
 		if err := l.rotateLocked(); err != nil {
@@ -458,6 +489,15 @@ func (l *Log) Append(channel string, seq uint64, action, audience []float64) err
 	for l.synced < ticket {
 		if l.failed != nil {
 			return l.failed
+		}
+		if l.closed {
+			// Close began while we were parked and this ticket is not
+			// yet covered (Close's own final sync will cover it, but
+			// that has not happened from this waiter's point of view):
+			// the record's durability is unknown and the caller must
+			// not treat it as acknowledged. Never become a sync leader
+			// once closed — Close relies on that to terminate.
+			return ErrClosed
 		}
 		if l.syncing {
 			l.cond.Wait()
@@ -493,6 +533,11 @@ func (l *Log) Append(channel string, seq uint64, action, audience []float64) err
 func (l *Log) rotateLocked() error {
 	for l.syncing {
 		l.cond.Wait()
+	}
+	if l.closed {
+		// Close slipped in while we waited for the sync leader; the old
+		// segment is (or is about to be) closed under it.
+		return ErrClosed
 	}
 	if l.failed != nil {
 		return l.failed
@@ -584,26 +629,40 @@ func (l *Log) Segments() int {
 }
 
 // Close syncs and closes the active segment. Appends in flight complete
-// first; later Appends fail with ErrClosed.
+// first; later Appends fail with ErrClosed. Appenders parked in the
+// group-commit wait are covered by the final sync here (their Append
+// returns nil — the record is durable); a failed final sync surfaces to
+// them as the sticky error instead, never as a spurious write to the
+// closed file.
 func (l *Log) Close() error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if l.closed {
 		return ErrClosed
 	}
+	// Refuse new appends before waiting out the in-flight sync leader:
+	// with writers still arriving, each finished sync would breed the
+	// next leader and this wait would livelock. Once closed is set no
+	// parked waiter elects itself leader (Append's wait loop checks it),
+	// so syncing goes false exactly once.
+	l.closed = true
 	for l.syncing {
 		l.cond.Wait()
 	}
-	l.closed = true
-	l.cond.Broadcast()
 	if l.failed != nil {
+		l.cond.Broadcast()
 		l.f.Close()
 		return l.failed
 	}
 	var err error
 	if l.synced < l.written {
-		err = l.f.Sync()
+		if err = l.f.Sync(); err == nil {
+			l.synced = l.written
+		} else {
+			l.failed = fmt.Errorf("wal: close fsync: %w", err)
+		}
 	}
+	l.cond.Broadcast()
 	if cerr := l.f.Close(); err == nil {
 		err = cerr
 	}

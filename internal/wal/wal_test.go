@@ -6,8 +6,10 @@ import (
 	"os"
 	"path/filepath"
 	"reflect"
+	"strings"
 	"sync"
 	"testing"
+	"time"
 )
 
 // rec builds a deterministic record for channel ch at seq.
@@ -293,6 +295,83 @@ func TestAppendAfterCloseFails(t *testing.T) {
 	}
 	if err := l.Close(); !errors.Is(err, ErrClosed) {
 		t.Fatalf("second Close = %v, want ErrClosed", err)
+	}
+}
+
+// TestAppendRejectsOversizedRecords pins the write-side bounds: a channel
+// id or vector too long for the uint16 framing would wrap on encode and
+// decode as corrupt, so recovery would truncate the journal at it and
+// silently drop every later acknowledged record. Append must refuse such
+// records up front, without poisoning the log for well-formed ones.
+func TestAppendRejectsOversizedRecords(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendRec(t, l, rec("ch", 1))
+
+	if err := l.Append("ch", 2, make([]float64, maxVectorLen+1), nil); !errors.Is(err, ErrRecordBounds) {
+		t.Fatalf("oversized action vector: %v, want ErrRecordBounds", err)
+	}
+	if err := l.Append("ch", 2, nil, make([]float64, maxVectorLen+1)); !errors.Is(err, ErrRecordBounds) {
+		t.Fatalf("oversized audience vector: %v, want ErrRecordBounds", err)
+	}
+	if err := l.Append(strings.Repeat("c", maxChannelLen+1), 2, nil, nil); !errors.Is(err, ErrRecordBounds) {
+		t.Fatalf("oversized channel id: %v, want ErrRecordBounds", err)
+	}
+
+	// The rejection is per-record, not sticky, and nothing was written.
+	appendRec(t, l, rec("ch", 2))
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	l2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	got := collect(t, l2)
+	if len(got) != 2 || got[0].Seq != 1 || got[1].Seq != 2 {
+		t.Fatalf("recovered %v, want seqs 1,2 only", got)
+	}
+}
+
+// TestCloseReleasesGroupCommitWaiters closes the log while appenders are
+// in flight: every Append must resolve to nil (its record rode the final
+// sync) or ErrClosed — never a sync attempt against the closed file
+// surfacing as a spurious sticky failure.
+func TestCloseReleasesGroupCommitWaiters(t *testing.T) {
+	l, err := Open(t.TempDir(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const writers = 6
+	var wg sync.WaitGroup
+	errs := make(chan error, writers)
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			ch := fmt.Sprintf("c%d", w)
+			for seq := uint64(1); ; seq++ {
+				if err := l.Append(ch, seq, []float64{float64(seq)}, nil); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(w)
+	}
+	time.Sleep(20 * time.Millisecond) // let appenders pile into the group commit
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close with appenders in flight: %v", err)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if !errors.Is(err, ErrClosed) {
+			t.Fatalf("appender saw %v, want ErrClosed", err)
+		}
 	}
 }
 
