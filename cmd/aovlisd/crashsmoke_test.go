@@ -52,6 +52,7 @@ func newDurableDaemon(t *testing.T, o options) (*daemon, *httptest.Server) {
 		pool.Close()
 		t.Fatal(err)
 	}
+	d.attachVerdictSinks()
 	if err := d.openWAL(o); err != nil {
 		d.closeDurability()
 		pool.Close()

@@ -23,6 +23,19 @@
 //	                              check it later with aovlisctl verify)
 //	GET  /ledger/proof/{seq}      Merkle inclusion proof for one committed
 //	                              verdict, verifiable offline
+//	GET  /live/{channel}          WebSocket live ingest (RFC 6455, no
+//	                              external deps): observation objects in,
+//	                              decision objects out, pipelined through
+//	                              the same zero-alloc submit path. Send
+//	                              Last-Seq on reconnect to replay decisions
+//	                              lost in flight; the 101 response carries
+//	                              X-Aovlis-Resume, the accepted floor the
+//	                              client must not resend at or below
+//	                              (ARCHITECTURE.md §15)
+//	GET  /watch                   SSE verdict dashboard: every non-warmup
+//	                              verdict as an `event: verdict`, with
+//	                              Last-Event-ID reconnect replay and an
+//	                              optional ?channel= filter
 //	GET  /healthz                 liveness + pool totals
 //	GET  /metrics                 Prometheus text exposition: per-stage
 //	                              latency histograms, throughput counters,
@@ -37,6 +50,13 @@
 // sliding windows, thresholds and pending update samples included — so
 // detection resumes exactly where the previous process stopped instead of
 // cold-starting every window (ARCHITECTURE.md §9, README "Operations").
+//
+// With -continual the channels learn from each other: an absorb loop
+// periodically folds every attached channel's adapted weights into a shared
+// base parameter set (weight -absorb-weight, cadence -absorb-every), and a
+// channel attached mid-stream warm-starts from that base instead of the
+// cold training checkpoint — the fleet's consensus of "normal" transfers to
+// newcomers, cutting their cold-start steps to the first stable verdict.
 //
 // Adding -wal-dir closes the gap between checkpoints: every accepted
 // observation is fsynced to an append-only journal before it is queued, and
@@ -86,6 +106,7 @@ import (
 	"aovlis/internal/metrics"
 	"aovlis/internal/serve"
 	"aovlis/internal/snapshot"
+	"aovlis/internal/stream/live"
 	"aovlis/internal/synth"
 	"aovlis/internal/wal"
 )
@@ -119,6 +140,9 @@ type options struct {
 	walDir        string
 	ledgerDir     string
 	ledgerBatch   int
+	continual     bool
+	absorbWeight  float64
+	absorbEvery   time.Duration
 }
 
 // admissionConfig assembles the pool's admission control from the flags.
@@ -161,6 +185,9 @@ func main() {
 	flag.StringVar(&o.walDir, "wal-dir", "", "crash-proof ingest journal directory: every accepted observation is fsynced here before it is queued, and boot replays the journal tail so a kill -9 loses zero acknowledged segments (ARCHITECTURE.md §14)")
 	flag.StringVar(&o.ledgerDir, "ledger-dir", "", "tamper-evident verdict ledger directory: every non-warmup verdict is appended to a Merkle-batched hash chain served at GET /ledger/root and /ledger/proof/{seq}, verifiable offline with aovlisctl verify")
 	flag.IntVar(&o.ledgerBatch, "ledger-batch", ledger.DefaultBatchSize, "verdicts per committed ledger batch (each commit is one fsynced Merkle block)")
+	flag.BoolVar(&o.continual, "continual", false, "cross-channel continual learning: periodically fold every channel's adapted weights into a shared base (-absorb-every, -absorb-weight) and warm-start newly attached channels from it instead of the cold template (ARCHITECTURE.md §15)")
+	flag.Float64Var(&o.absorbWeight, "absorb-weight", 0.25, "with -continual: per-absorb weight of the incoming channel in the shared base, in (0,1] — small keeps the base a slow fleet consensus")
+	flag.DurationVar(&o.absorbEvery, "absorb-every", 30*time.Second, "with -continual: how often the absorb loop folds every channel into the shared base")
 	flag.Parse()
 
 	if err := run(o); err != nil {
@@ -204,6 +231,14 @@ func run(o options) error {
 	if o.ledgerBatch < 1 {
 		return fmt.Errorf("-ledger-batch must be at least 1")
 	}
+	if o.continual {
+		if o.absorbWeight <= 0 || o.absorbWeight > 1 {
+			return fmt.Errorf("-absorb-weight %g outside (0,1]", o.absorbWeight)
+		}
+		if o.absorbEvery <= 0 {
+			return fmt.Errorf("-continual needs a positive -absorb-every")
+		}
+	}
 	template, err := buildTemplate(o)
 	if err != nil {
 		return err
@@ -215,7 +250,11 @@ func run(o options) error {
 	}
 
 	d := &daemon{pool: pool, template: template, maxChannels: o.maxChannels,
-		obsWindow: o.batch, snapshotDir: o.snapshotDir, nodeID: o.nodeID, started: time.Now()}
+		obsWindow: o.batch, snapshotDir: o.snapshotDir, nodeID: o.nodeID, started: time.Now(),
+		hub: live.NewHub(live.HubConfig{})}
+	if o.continual {
+		d.base = aovlis.NewContinualBase(template)
+	}
 
 	// Durability boot order (ARCHITECTURE.md §14): the snapshot restore
 	// already happened in buildPool; attach the verdict sink before replay
@@ -225,6 +264,7 @@ func run(o options) error {
 		pool.Close()
 		return err
 	}
+	d.attachVerdictSinks()
 	if err := d.openWAL(o); err != nil {
 		d.closeDurability()
 		pool.Close()
@@ -237,6 +277,11 @@ func run(o options) error {
 	if o.snapshotEvery > 0 {
 		go d.snapshotLoop(ctx, o.snapshotEvery)
 	}
+	if o.continual {
+		go d.absorbLoop(ctx, o.absorbEvery, o.absorbWeight)
+		fmt.Printf("continual learning: absorbing channels into the shared base every %s at weight %g\n",
+			o.absorbEvery, o.absorbWeight)
+	}
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
 	fmt.Printf("aovlisd listening on %s (%d shards, queue %d, policy %s, τ = %.4f)\n",
@@ -244,12 +289,19 @@ func run(o options) error {
 
 	select {
 	case err := <-errc:
+		d.hub.Close()
 		pool.Close()
 		d.closeDurability()
 		return err
 	case <-ctx.Done():
 	}
 	fmt.Println("aovlisd: shutting down")
+	// Live plane first: hijacked WebSocket connections are invisible to
+	// Shutdown's drain and an SSE watch stream never ends on its own, so
+	// Close cuts them here — every live handler unblocks, drains its
+	// in-flight submissions into the resume ring and returns, and only then
+	// can the listener drain below actually finish.
+	d.hub.Close()
 	shCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	if err := srv.Shutdown(shCtx); err != nil {
@@ -296,7 +348,6 @@ func (d *daemon) openLedger(o options) error {
 		return fmt.Errorf("opening verdict ledger %s: %w", o.ledgerDir, err)
 	}
 	d.ledger = led
-	d.pool.AttachVerdictSink(ledgerSink{led})
 	head := led.Root()
 	fmt.Printf("verdict ledger %s: %d batches, %d entries, head %.16s…\n",
 		o.ledgerDir, head.Batches, head.Entries, head.Chained)
@@ -381,6 +432,59 @@ func (d *daemon) closeDurability() error {
 	return err
 }
 
+// attachVerdictSinks wires the pool's verdict sink as a fan-out: the live
+// watch hub always receives every verdict (the SSE dashboard works with or
+// without durability), and the ledger receives them too when enabled. Runs
+// on the boot path between openLedger and openWAL so WAL-replayed verdicts
+// reach both.
+func (d *daemon) attachVerdictSinks() {
+	var sinks fanoutSink
+	if d.ledger != nil {
+		sinks = append(sinks, ledgerSink{d.ledger})
+	}
+	if d.hub != nil { // nil only in tests exercising the NDJSON plane alone
+		sinks = append(sinks, watchSink{hub: d.hub})
+	}
+	switch len(sinks) {
+	case 0:
+	case 1:
+		d.pool.AttachVerdictSink(sinks[0])
+	default:
+		d.pool.AttachVerdictSink(sinks)
+	}
+}
+
+// fanoutSink fans one verdict out to several sinks in order.
+type fanoutSink []serve.VerdictSink
+
+func (s fanoutSink) Record(channel string, channelSeq uint64, res aovlis.Result) {
+	for _, sub := range s {
+		sub.Record(channel, channelSeq, res)
+	}
+}
+
+// watchSink publishes every verdict to the live hub's SSE watch ring. The
+// hub never blocks on a slow dashboard (it disconnects laggards instead),
+// so this is safe on the scoring path.
+type watchSink struct{ hub *live.Hub }
+
+func (s watchSink) Record(channel string, channelSeq uint64, res aovlis.Result) {
+	b, err := json.Marshal(live.Decision{
+		Channel: channel,
+		Seq:     channelSeq,
+		Warmup:  res.Warmup,
+		Anomaly: res.Anomaly,
+		Score:   res.Score,
+		Exact:   res.Exact,
+		Path:    res.Path,
+		WSeq:    channelSeq,
+	})
+	if err != nil {
+		return
+	}
+	s.hub.Publish(channel, b)
+}
+
 // ledgerSink adapts the verdict ledger to the pool's VerdictSink. The
 // ledger serialises appends internally; an append error is reported once
 // the daemon checkpoints (Flush) — the hot path must not block scoring on
@@ -445,6 +549,40 @@ func (d *daemon) snapshotNow() (serve.Report, error) {
 		}
 	}
 	return rep, nil
+}
+
+// absorbLoop folds every attached channel into the shared base at the
+// configured cadence until the daemon begins shutting down.
+func (d *daemon) absorbLoop(ctx context.Context, every time.Duration, w float64) {
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			d.absorbAll(w)
+		}
+	}
+}
+
+// absorbAll runs one absorb sweep: each channel's weights merge into the
+// shared base at a quiesced segment boundary (WithChannel), so the merge
+// never races the channel's own scoring or retraining. Channels detached
+// mid-sweep and a pool already closing are skipped silently.
+func (d *daemon) absorbAll(w float64) {
+	for _, id := range d.pool.Channels() {
+		err := d.pool.WithChannel(id, func(det serve.Detector) error {
+			ad, ok := det.(*aovlis.Detector)
+			if !ok {
+				return nil // an alternative backend carries no weights to absorb
+			}
+			return d.base.AbsorbFrom(ad, w)
+		})
+		if err != nil && !errors.Is(err, serve.ErrUnknownChannel) && !errors.Is(err, serve.ErrClosed) {
+			fmt.Fprintf(os.Stderr, "aovlisd: absorb %s: %v\n", id, err)
+		}
+	}
 }
 
 // snapshotLoop checkpoints the pool at the configured cadence until the
@@ -545,6 +683,18 @@ type daemon struct {
 	// fed by the pool's verdict sink and flushed on every checkpoint.
 	ledger *ledger.Ledger
 
+	// hub is the live plane's shared state: per-channel resume rings for
+	// the WebSocket ingest endpoint and the SSE watch fan-out. Every scored
+	// verdict reaches it through the pool's verdict sink. Nil only in tests
+	// that exercise the NDJSON plane alone.
+	hub *live.Hub
+
+	// base is the cross-channel continual-learning accumulator (nil
+	// without -continual): the absorb loop folds live channels into it at
+	// quiesced segment boundaries, and ensureChannel warm-starts fresh
+	// clones from it instead of the cold template.
+	base *aovlis.ContinualBase
+
 	// obsWindow is the observe handler's submission pipeline depth: up to
 	// this many segments of one NDJSON stream are in flight at once, which
 	// is what feeds the pool's micro-batching a real backlog. ≤1 keeps the
@@ -573,6 +723,15 @@ func (d *daemon) handler(enablePprof, enableMetrics bool) http.Handler {
 	mux.HandleFunc("/channels", d.handleList)
 	mux.HandleFunc("/channels/", d.handleChannel)
 	mux.HandleFunc("/snapshot", d.handleSnapshot)
+	if d.hub != nil {
+		// Live plane (ARCHITECTURE.md §15): WebSocket ingest with Last-Seq
+		// resume, and the SSE verdict dashboard. The ingest handler shares
+		// the NDJSON handler's pipelining depth so both planes feed the
+		// shard micro-batcher the same backlog.
+		mux.Handle("/live/", &live.IngestHandler{
+			Pool: d.pool, Hub: d.hub, Ensure: d.ensureChannel, Window: d.obsWindow})
+		mux.HandleFunc("/watch", d.hub.ServeWatch)
+	}
 	mux.HandleFunc("/ledger/root", d.handleLedgerRoot)
 	mux.HandleFunc("/ledger/proof/", d.handleLedgerProof)
 	if enableMetrics {
@@ -645,6 +804,14 @@ func (d *daemon) ensureChannel(id string) error {
 	det, err := d.template.Clone()
 	if err != nil {
 		return err
+	}
+	if d.base != nil {
+		// Continual learning: a channel attached mid-stream starts from the
+		// fleet's shared base — what its peers already learned — instead of
+		// the cold training checkpoint.
+		if err := d.base.WarmStart(det); err != nil {
+			return err
+		}
 	}
 	err = d.pool.Attach(id, det)
 	if errors.Is(err, serve.ErrChannelExists) {

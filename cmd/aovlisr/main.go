@@ -15,6 +15,12 @@
 //	aovlisr -addr :7600 -nodes "a=http://127.0.0.1:7601=/shared/a,b=http://127.0.0.1:7602=/shared/b"
 //	curl -N -X POST --data-binary @segments.ndjson http://127.0.0.1:7600/channels/alice/observe
 //
+// The live plane rides the same placement: GET /live/{channel} tunnels
+// the WebSocket upgrade to the channel's owner as a raw byte splice (the
+// Last-Seq/X-Aovlis-Resume resume contract passes through end to end),
+// and GET /watch fans the alive nodes' SSE verdict streams into one
+// merged dashboard feed with node-namespaced event ids.
+//
 // Admin surface: GET /cluster/nodes (fleet health), GET
 // /cluster/place?channel=X (ownership lookup), POST /cluster/rebalance
 // (canonical re-placement), GET /healthz, GET /metrics.

@@ -1,0 +1,74 @@
+package aovlis
+
+// Cross-channel continual learning (ISSUE 10): a fleet of per-channel
+// detectors shares one slowly-moving base parameter set. Live channels are
+// periodically absorbed into the base through the dynamic updater's
+// weighted parameter merge, and a channel attached mid-stream warm-starts
+// from the base instead of the cold training checkpoint. The payoff is
+// measured by StepsToStable: a warm-started channel reaches its first
+// stable verdict run in a fraction of the cold channel's steps.
+
+import (
+	"fmt"
+
+	"aovlis/internal/update"
+)
+
+// ContinualBase is the shared cross-channel base. It is safe for
+// concurrent use by the absorb loop and attach path; the Detectors handed
+// to AbsorbFrom and WarmStart must themselves be quiescent (single-writer
+// contract) — in the serving tier, call both inside
+// serve.DetectorPool.WithChannel or before Attach.
+type ContinualBase struct {
+	sb *update.SharedBase
+}
+
+// NewContinualBase seeds the base from d (typically the trained
+// template); d's weights are deep-copied, never aliased.
+func NewContinualBase(d *Detector) *ContinualBase {
+	return &ContinualBase{sb: update.NewSharedBase(d.model)}
+}
+
+// AbsorbFrom folds d's current weights into the base:
+// base ← (1−w)·base + w·d. The architectures must match.
+func (b *ContinualBase) AbsorbFrom(d *Detector, w float64) error {
+	return b.sb.Absorb(d.model, w)
+}
+
+// WarmStart seeds d's model from the base: parameters are copied
+// bit-exactly and the optimizer state is reset. d keeps its own τ, filter
+// and tier state — the base carries what "normal" looks like, not one
+// channel's calibration.
+func (b *ContinualBase) WarmStart(d *Detector) error {
+	if err := b.sb.Seed(d.model); err != nil {
+		return fmt.Errorf("aovlis: warm start: %w", err)
+	}
+	return nil
+}
+
+// Absorbs reports how many channel merges the base has accumulated.
+func (b *ContinualBase) Absorbs() int { return b.sb.Absorbs() }
+
+// StepsToStable is the cold-start metric: the number of verdicts a
+// channel consumed up to and including the one that completes its first
+// run of k consecutive stable (non-warmup, non-anomaly) results. Returns
+// -1 if the stream never stabilised. Comparing a warm-started channel's
+// count against a cold one's on the same stream quantifies what the
+// shared base bought.
+func StepsToStable(results []Result, k int) int {
+	if k <= 0 {
+		k = 1
+	}
+	run := 0
+	for i := range results {
+		if !results[i].Warmup && !results[i].Anomaly {
+			run++
+			if run == k {
+				return i + 1
+			}
+		} else {
+			run = 0
+		}
+	}
+	return -1
+}

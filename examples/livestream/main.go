@@ -1,0 +1,349 @@
+// Livestream: drive the live WebSocket plane end-to-end — the connector
+// workflow a real dashboard or broadcast tool would use against aovlisd.
+//
+// One detector is trained on a normal INF stream and cloned per channel
+// on first contact (the daemon's ensure-on-attach behaviour). The live
+// endpoints are mounted on a real listener: /live/{channel} upgrades to
+// RFC 6455 WebSocket and scores each observation through the pool's
+// zero-alloc submit path, /watch streams every verdict as server-sent
+// events. Each channel then streams its own synthetic live feed over a
+// WebSocket connection; one channel deliberately drops its connection
+// mid-stream and resumes with Last-Seq against the advertised
+// X-Aovlis-Resume floor, exercising the reconnect contract. The whole
+// run is -race clean:
+//
+//	go run -race ./examples/livestream
+//	go run ./examples/livestream -channels 16 -shards 8
+package main
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"aovlis"
+	"aovlis/internal/dataset"
+	"aovlis/internal/serve"
+	"aovlis/internal/stream"
+	"aovlis/internal/stream/live"
+	"aovlis/internal/synth"
+)
+
+func main() {
+	var (
+		channels  = flag.Int("channels", 8, "number of concurrent live channels")
+		shards    = flag.Int("shards", runtime.GOMAXPROCS(0), "detector pool shards")
+		trainSec  = flag.Int("train-sec", 240, "training stream length (seconds)")
+		streamSec = flag.Int("stream-sec", 45, "per-channel monitored stream length (seconds)")
+		classes   = flag.Int("classes", 24, "action feature classes (d1)")
+		epochs    = flag.Int("epochs", 3, "training epochs")
+		seed      = flag.Int64("seed", 1, "random seed")
+	)
+	flag.Parse()
+	if err := run(*channels, *shards, *trainSec, *streamSec, *classes, *epochs, *seed); err != nil {
+		fmt.Fprintln(os.Stderr, "livestream:", err)
+		os.Exit(1)
+	}
+}
+
+// channelReport is one channel goroutine's summary.
+type channelReport struct {
+	id        string
+	segments  int
+	anomalies int
+	resumes   int
+	err       error
+}
+
+func run(channels, shards, trainSec, streamSec, classes, epochs int, seed int64) error {
+	// 1. Train the template detector on a normal stream; the fitted feature
+	//    pipeline (I3D projection + frozen count normalisation) is shared
+	//    by every channel's ingest.
+	dcfg := dataset.DefaultConfig(synth.INF())
+	dcfg.TrainSec, dcfg.TestSec = trainSec, 64
+	dcfg.Classes = classes
+	dcfg.Seed = seed
+	fmt.Printf("training template on a %ds normal INF stream...\n", trainSec)
+	ds, err := dataset.Build(dcfg)
+	if err != nil {
+		return err
+	}
+	cfg := aovlis.DefaultConfig(classes, dcfg.Audience.Dim())
+	cfg.Epochs = epochs
+	cfg.Seed = seed
+	template, err := aovlis.Train(ds.TrainActions, ds.TrainAudience, cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("template ready: %d parameters, τ = %.4f\n", template.Model().NumParams(), template.Tau())
+
+	// 2. The live plane: pool + hub behind /live/{channel} and /watch on a
+	//    real listener. Channels attach on first WebSocket contact.
+	pool, err := serve.NewDetectorPool(serve.Config{Shards: shards, QueueDepth: 256, Policy: serve.Block, Batch: 16})
+	if err != nil {
+		return err
+	}
+	defer pool.Close()
+	hub := live.NewHub(live.HubConfig{})
+	defer hub.Close()
+	var ensureMu sync.Mutex
+	ensure := func(id string) error {
+		ensureMu.Lock()
+		defer ensureMu.Unlock()
+		det, err := template.Clone()
+		if err != nil {
+			return err
+		}
+		if err := pool.Attach(id, det); err != nil && !errors.Is(err, serve.ErrChannelExists) {
+			return err
+		}
+		return nil
+	}
+	pool.AttachVerdictSink(hubSink{hub})
+	mux := http.NewServeMux()
+	mux.Handle("/live/", &live.IngestHandler{Pool: pool, Hub: hub, Ensure: ensure, Window: 16})
+	mux.HandleFunc("/watch", hub.ServeWatch)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	srv := &http.Server{Handler: mux}
+	go srv.Serve(ln)
+	defer srv.Close()
+	base := "http://" + ln.Addr().String()
+	fmt.Printf("live plane on %s (/live/{channel} WebSocket, /watch SSE)\n", base)
+
+	// 3. A dashboard: one SSE subscriber counting every verdict the fleet
+	//    of connections produces.
+	watchCtx, stopWatch := context.WithCancel(context.Background())
+	defer stopWatch()
+	watched := make(chan int, 1)
+	go func() { watched <- watchVerdicts(watchCtx, base) }()
+
+	// 4. Every channel streams its own synthetic feed over WebSocket,
+	//    concurrently; the first channel drops mid-stream and resumes.
+	fmt.Printf("streaming %d channels (%ds each) over WebSocket across %d shards...\n", channels, streamSec, shards)
+	start := time.Now()
+	reports := make([]channelReport, channels)
+	var wg sync.WaitGroup
+	for i := 0; i < channels; i++ {
+		id := fmt.Sprintf("stream-%02d", i)
+		obs, err := channelObservations(ds, streamSec, seed+1000+int64(i))
+		if err != nil {
+			return fmt.Errorf("%s: %w", id, err)
+		}
+		wg.Add(1)
+		go func(i int, id string, obs []serve.Observation) {
+			defer wg.Done()
+			reports[i] = streamChannel(base, id, obs, i == 0)
+		}(i, id, obs)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	// 5. Teardown in dependency order — the hub first, so the dashboard
+	//    stream ends and the watcher can report — then the HTTP server.
+	hub.Close()
+	dashboard := <-watched
+
+	totalSegments, totalAnomalies, totalResumes := 0, 0, 0
+	for _, r := range reports {
+		if r.err != nil {
+			return fmt.Errorf("%s: %w", r.id, r.err)
+		}
+		totalSegments += r.segments
+		totalAnomalies += r.anomalies
+		totalResumes += r.resumes
+	}
+	ps := pool.PoolStats()
+	fmt.Printf("done in %.1fs: %d channels over WebSocket, %d segments scored (%.0f segments/s), %d flagged\n",
+		elapsed.Seconds(), channels, totalSegments, float64(totalSegments)/elapsed.Seconds(), totalAnomalies)
+	fmt.Printf("resumed %d dropped connection(s) via Last-Seq; dashboard saw %d verdict events; pool observed %d\n",
+		totalResumes, dashboard, ps.Observed)
+	return nil
+}
+
+// hubSink publishes every verdict to the hub's /watch plane, mirroring
+// the daemon's dashboard wiring (no WAL here, so WSeq stays zero).
+type hubSink struct{ hub *live.Hub }
+
+func (s hubSink) Record(channel string, channelSeq uint64, res aovlis.Result) {
+	b, err := json.Marshal(live.Decision{
+		Channel: channel, Seq: channelSeq,
+		Warmup: res.Warmup, Anomaly: res.Anomaly, Score: res.Score, Exact: res.Exact, Path: res.Path,
+	})
+	if err != nil {
+		return
+	}
+	s.hub.Publish(channel, b)
+}
+
+// channelObservations renders one channel's synthetic live feed through
+// the online ingest (frames and chat interleaved in delivery order) into
+// the observation list its WebSocket connection will stream.
+func channelObservations(ds *dataset.Dataset, streamSec int, seed int64) ([]serve.Observation, error) {
+	st, err := synth.Generate(synth.Options{Preset: ds.Config.Preset, DurationSec: streamSec, Seed: seed})
+	if err != nil {
+		return nil, err
+	}
+	in, err := serve.NewIngest(ds.Pipeline, stream.Segmenter{})
+	if err != nil {
+		return nil, err
+	}
+	var out []serve.Observation
+	ci := 0
+	for _, f := range st.Frames {
+		frameEnd := float64(f.Index+1) / float64(st.FPS)
+		for ci < len(st.Comments) && st.Comments[ci].AtSec < frameEnd {
+			in.PushComment(st.Comments[ci])
+			ci++
+		}
+		obs, err := in.PushFrame(f)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, obs...)
+	}
+	obs, err := in.Flush()
+	if err != nil {
+		return nil, err
+	}
+	return append(out, obs...), nil
+}
+
+// streamChannel runs one channel's live session. With demoResume it tears
+// the connection down halfway and reconnects with Last-Seq, picking up
+// from the server's advertised floor — the lossless-reconnect contract.
+func streamChannel(base, id string, obs []serve.Observation, demoResume bool) channelReport {
+	rep := channelReport{id: id}
+	total := uint64(len(obs))
+	cut := total
+	if demoResume && total > 4 {
+		cut = total / 2
+	}
+	last, anomalies, err := streamLeg(base, id, obs, 0, cut)
+	rep.anomalies += anomalies
+	if err != nil {
+		rep.err = err
+		return rep
+	}
+	if cut < total {
+		rep.resumes++
+		last, anomalies, err = streamLeg(base, id, obs, last, total)
+		rep.anomalies += anomalies
+		if err != nil {
+			rep.err = err
+			return rep
+		}
+	}
+	rep.segments = int(last)
+	return rep
+}
+
+// streamLeg opens one WebSocket connection resuming at lastSeq, streams
+// observations from the advertised floor, and reads decisions until seq
+// reaches until. Returns the highest seq seen and the anomaly count.
+func streamLeg(base, id string, obs []serve.Observation, lastSeq, until uint64) (uint64, int, error) {
+	hdr := http.Header{}
+	if lastSeq > 0 {
+		hdr.Set(live.LastSeqHeader, strconv.FormatUint(lastSeq, 10))
+	}
+	conn, resp, err := live.Dial(base+"/live/"+id, hdr)
+	// A reconnect can race the server noticing the previous connection is
+	// gone (it frees the channel when its read loop sees the close), so a
+	// brief 409 is expected; retry like a real client would.
+	for attempt := 0; err != nil && resp != nil && resp.StatusCode == http.StatusConflict && attempt < 100; attempt++ {
+		time.Sleep(10 * time.Millisecond)
+		conn, resp, err = live.Dial(base+"/live/"+id, hdr)
+	}
+	if err != nil {
+		return lastSeq, 0, fmt.Errorf("dial: %w", err)
+	}
+	defer conn.Close()
+	floor, err := strconv.ParseUint(resp.Header.Get(live.ResumeHeader), 10, 64)
+	if err != nil {
+		return lastSeq, 0, fmt.Errorf("bad resume floor %q", resp.Header.Get(live.ResumeHeader))
+	}
+
+	// Writer: everything at or below the floor is already accepted
+	// server-side; resend only from there.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := floor; i < uint64(len(obs)); i++ {
+			b, err := json.Marshal(live.Observation{Action: obs[i].Action, Audience: obs[i].Audience})
+			if err != nil {
+				return
+			}
+			if conn.WriteMessage(live.OpText, b) != nil {
+				return // connection closed under us (the resume demo's cut)
+			}
+		}
+	}()
+
+	last, anomalies := lastSeq, 0
+	for last < until {
+		conn.SetReadDeadline(time.Now().Add(30 * time.Second))
+		op, msg, err := conn.ReadMessage()
+		if err != nil {
+			conn.Close()
+			<-done
+			return last, anomalies, fmt.Errorf("read after seq %d: %w", last, err)
+		}
+		if op != live.OpText {
+			continue
+		}
+		var dec live.Decision
+		if err := json.Unmarshal(msg, &dec); err != nil {
+			conn.Close()
+			<-done
+			return last, anomalies, fmt.Errorf("bad decision %q: %w", msg, err)
+		}
+		if dec.Seq > last {
+			last = dec.Seq
+		}
+		if dec.Anomaly && !dec.Warmup {
+			anomalies++
+		}
+	}
+	conn.Close() // unblocks the writer if the leg stopped early (resume cut)
+	<-done
+	return last, anomalies, nil
+}
+
+// watchVerdicts subscribes to the SSE dashboard and counts verdict events
+// until the stream ends (hub shutdown) or the context is cancelled.
+func watchVerdicts(ctx context.Context, base string) int {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/watch", nil)
+	if err != nil {
+		return 0
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return 0
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return 0
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	n := 0
+	for sc.Scan() {
+		if strings.HasPrefix(sc.Text(), "event: verdict") {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,17 @@
+package main
+
+import "testing"
+
+// TestLivestreamExample drives the example end-to-end at reduced scale:
+// train → concurrent WebSocket legs (including the drop-and-resume
+// channel) → SSE dashboard → ordered teardown. CI's race job keeps the
+// whole flow race-clean; -short skips the run (the example still
+// compiles under go build ./...).
+func TestLivestreamExample(t *testing.T) {
+	if testing.Short() {
+		t.Skip("example end-to-end run")
+	}
+	if err := run(3, 2, 90, 20, 16, 2, 1); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -243,6 +243,8 @@ func (r *Router) Handler() http.Handler {
 	mux.HandleFunc("/cluster/rebalance", r.handleRebalance)
 	mux.HandleFunc("/channels", r.handleChannels)
 	mux.HandleFunc("/channels/", r.handleChannel)
+	mux.HandleFunc("/live/", r.handleLive)
+	mux.HandleFunc("/watch", r.handleWatch)
 	return mux
 }
 

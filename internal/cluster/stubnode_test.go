@@ -32,8 +32,16 @@ type stubNode struct {
 	sick       atomic.Bool  // /healthz answers 500
 	fail500    atomic.Bool  // observe answers 500 (broken-node, not overload)
 
+	// watch is the fixed event list the stub's /watch replays (live_test
+	// populates it); watchEnd makes the handler return after the replay
+	// instead of holding the stream open, and watchQuery records the last
+	// raw query so tests can pin filter passthrough.
+	watchEnd   atomic.Bool
+	watchQuery atomic.Value // string
+
 	mu       sync.Mutex
 	channels map[string]*stubChannel
+	watch    []string
 }
 
 type stubChannel struct {
@@ -98,6 +106,8 @@ func (s *stubNode) handler() http.Handler {
 		json.NewEncoder(w).Encode(out)
 	})
 	mux.HandleFunc("/channels/", s.handleChannel)
+	mux.HandleFunc("/live/", s.handleLive)
+	mux.HandleFunc("/watch", s.handleWatch)
 	return mux
 }
 

@@ -36,6 +36,16 @@ const (
 	// [SpikeStart, SpikeStart+SpikeDur), where it jumps to PeakRate — the
 	// "live event" profile from the paper's streaming setting.
 	FlashCrowd
+	// RaidBrigade is FlashCrowd's hostile twin: inside the spike window the
+	// rate jumps to PeakRate AND a RaidFraction of arrivals converge on one
+	// target channel with features shifted RaidOffset along a seeded raid
+	// direction — coordinated brigading, the anomaly the detector must call.
+	RaidBrigade
+	// SlowBurnDrift offers a steady rate whose per-channel feature base
+	// drifts linearly over the run (Drift at t=Duration along a seeded unit
+	// direction per channel) — the gradual distribution shift that starves a
+	// frozen model and exercises the updater's retrain path.
+	SlowBurnDrift
 )
 
 func (s Shape) String() string {
@@ -46,6 +56,10 @@ func (s Shape) String() string {
 		return "ramp"
 	case FlashCrowd:
 		return "flash-crowd"
+	case RaidBrigade:
+		return "raid-brigade"
+	case SlowBurnDrift:
+		return "slow-burn-drift"
 	default:
 		return fmt.Sprintf("Shape(%d)", int(s))
 	}
@@ -74,6 +88,18 @@ type Config struct {
 	// Jitter scales the Gaussian perturbation around each channel's base
 	// feature pattern (default 0.05 when zero).
 	Jitter float64
+	// RaidTarget is the channel index RaidBrigade converges on.
+	RaidTarget int
+	// RaidFraction is the probability an in-window RaidBrigade arrival is
+	// redirected to RaidTarget (default 0.8 when zero).
+	RaidFraction float64
+	// RaidOffset is the feature-space magnitude of the raid shift (default
+	// 1.5 when zero) — large enough that raid segments are genuinely
+	// anomalous relative to Jitter.
+	RaidOffset float64
+	// Drift is the feature-space displacement SlowBurnDrift reaches at
+	// t=Duration (default 1.0 when zero).
+	Drift float64
 }
 
 // Validate reports the first configuration error.
@@ -84,17 +110,28 @@ func (c Config) Validate() error {
 	if c.BaseRate <= 0 {
 		return fmt.Errorf("loadgen: BaseRate must be positive, got %g", c.BaseRate)
 	}
-	if c.Shape != Steady && c.PeakRate < c.BaseRate {
+	if c.Shape != Steady && c.Shape != SlowBurnDrift && c.PeakRate < c.BaseRate {
 		return fmt.Errorf("loadgen: PeakRate %g below BaseRate %g", c.PeakRate, c.BaseRate)
 	}
-	if c.Shape == FlashCrowd {
+	if c.Shape == FlashCrowd || c.Shape == RaidBrigade {
 		if c.SpikeDur <= 0 {
-			return fmt.Errorf("loadgen: FlashCrowd needs positive SpikeDur, got %v", c.SpikeDur)
+			return fmt.Errorf("loadgen: %v needs positive SpikeDur, got %v", c.Shape, c.SpikeDur)
 		}
 		if c.SpikeStart < 0 || c.SpikeStart+c.SpikeDur > c.Duration {
 			return fmt.Errorf("loadgen: spike window [%v,%v) outside [0,%v)",
 				c.SpikeStart, c.SpikeStart+c.SpikeDur, c.Duration)
 		}
+	}
+	if c.Shape == RaidBrigade {
+		if c.RaidTarget < 0 || c.RaidTarget >= c.Channels {
+			return fmt.Errorf("loadgen: RaidTarget %d outside [0,%d)", c.RaidTarget, c.Channels)
+		}
+		if c.RaidFraction < 0 || c.RaidFraction > 1 {
+			return fmt.Errorf("loadgen: RaidFraction %g outside [0,1]", c.RaidFraction)
+		}
+	}
+	if c.Drift < 0 {
+		return fmt.Errorf("loadgen: Drift must be non-negative, got %g", c.Drift)
 	}
 	if c.Channels <= 0 {
 		return fmt.Errorf("loadgen: Channels must be positive, got %d", c.Channels)
@@ -116,7 +153,7 @@ func (c Config) RateAt(t time.Duration) float64 {
 			frac = 1
 		}
 		return c.BaseRate + frac*(c.PeakRate-c.BaseRate)
-	case FlashCrowd:
+	case FlashCrowd, RaidBrigade:
 		if t >= c.SpikeStart && t < c.SpikeStart+c.SpikeDur {
 			return c.PeakRate
 		}
@@ -141,7 +178,7 @@ func (c Config) ExpectedArrivals() float64 {
 	switch c.Shape {
 	case Ramp:
 		return secs * (c.BaseRate + c.PeakRate) / 2
-	case FlashCrowd:
+	case FlashCrowd, RaidBrigade:
 		return c.BaseRate*(secs-c.SpikeDur.Seconds()) + c.PeakRate*c.SpikeDur.Seconds()
 	default:
 		return c.BaseRate * secs
@@ -177,6 +214,15 @@ func New(cfg Config) (*Schedule, error) {
 	if cfg.Jitter == 0 {
 		cfg.Jitter = 0.05
 	}
+	if cfg.RaidFraction == 0 {
+		cfg.RaidFraction = 0.8
+	}
+	if cfg.RaidOffset == 0 {
+		cfg.RaidOffset = 1.5
+	}
+	if cfg.Shape == SlowBurnDrift && cfg.Drift == 0 {
+		cfg.Drift = 1.0
+	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
 
 	// Per-channel base patterns: a fixed point in feature space per
@@ -190,6 +236,21 @@ func New(cfg Config) (*Schedule, error) {
 			v[j] = rng.Float64()
 		}
 		base[i] = v
+	}
+
+	// Adversarial direction vectors, drawn AFTER the bases so BaseFeatures'
+	// re-derivation stays valid for every shape.
+	dims := cfg.ActionDim + cfg.AudienceDim
+	var raidDir []float64
+	if cfg.Shape == RaidBrigade {
+		raidDir = unitVector(rng, dims)
+	}
+	var driftDirs [][]float64
+	if cfg.Shape == SlowBurnDrift && cfg.Drift > 0 {
+		driftDirs = make([][]float64, cfg.Channels)
+		for i := range driftDirs {
+			driftDirs[i] = unitVector(rng, dims)
+		}
 	}
 
 	peak := cfg.peakRate()
@@ -207,18 +268,95 @@ func New(cfg Config) (*Schedule, error) {
 			continue // thinned
 		}
 		ci := rng.Intn(cfg.Channels)
+		raid := false
+		if cfg.Shape == RaidBrigade && at >= cfg.SpikeStart && at < cfg.SpikeStart+cfg.SpikeDur {
+			if rng.Float64() < cfg.RaidFraction {
+				ci = cfg.RaidTarget
+				raid = true
+			}
+		}
+		shift := func(j int) float64 {
+			var s float64
+			if raid {
+				s += cfg.RaidOffset * raidDir[j]
+			}
+			if driftDirs != nil {
+				s += cfg.Drift * (t / limit) * driftDirs[ci][j]
+			}
+			return s
+		}
 		a := Arrival{At: at, Channel: ChannelID(ci), ChannelIndex: ci,
 			Action:   make([]float64, cfg.ActionDim),
 			Audience: make([]float64, cfg.AudienceDim)}
 		for j := range a.Action {
-			a.Action[j] = base[ci][j] + cfg.Jitter*rng.NormFloat64()
+			a.Action[j] = base[ci][j] + shift(j) + cfg.Jitter*rng.NormFloat64()
 		}
 		for j := range a.Audience {
-			a.Audience[j] = base[ci][cfg.ActionDim+j] + cfg.Jitter*rng.NormFloat64()
+			a.Audience[j] = base[ci][cfg.ActionDim+j] + shift(cfg.ActionDim+j) + cfg.Jitter*rng.NormFloat64()
 		}
 		arrivals = append(arrivals, a)
 	}
 	return &Schedule{Cfg: cfg, Arrivals: arrivals}, nil
+}
+
+// unitVector draws a uniformly random direction.
+func unitVector(rng *rand.Rand, n int) []float64 {
+	v := make([]float64, n)
+	var norm float64
+	for j := range v {
+		v[j] = rng.NormFloat64()
+		norm += v[j] * v[j]
+	}
+	norm = math.Sqrt(norm)
+	if norm == 0 {
+		v[0], norm = 1, 1
+	}
+	for j := range v {
+		v[j] /= norm
+	}
+	return v
+}
+
+// PresetNames lists the adversarial presets in conformance order.
+func PresetNames() []string { return []string{"flash-crowd", "raid-brigade", "slow-burn-drift"} }
+
+// AdversarialPreset returns the named adversarial program sized for the
+// conformance suite: a short, seeded schedule whose hostile window (or
+// drift) occupies a deterministic slice of the run. Callers may rescale
+// Duration/rates; everything else is part of the preset's identity.
+func AdversarialPreset(name string, seed int64, channels, actionDim, audienceDim int) (Config, error) {
+	cfg := Config{
+		Seed:        seed,
+		Duration:    2 * time.Second,
+		BaseRate:    60,
+		Channels:    channels,
+		ActionDim:   actionDim,
+		AudienceDim: audienceDim,
+	}
+	switch name {
+	case "flash-crowd":
+		cfg.Shape = FlashCrowd
+		cfg.PeakRate = 360
+		cfg.SpikeStart = cfg.Duration / 4
+		cfg.SpikeDur = cfg.Duration / 4
+	case "raid-brigade":
+		cfg.Shape = RaidBrigade
+		cfg.PeakRate = 300
+		cfg.SpikeStart = cfg.Duration / 3
+		cfg.SpikeDur = cfg.Duration / 3
+		cfg.RaidTarget = 0
+		cfg.RaidFraction = 0.8
+		cfg.RaidOffset = 1.5
+	case "slow-burn-drift":
+		cfg.Shape = SlowBurnDrift
+		cfg.Drift = 1.2
+	default:
+		return Config{}, fmt.Errorf("loadgen: unknown adversarial preset %q (have %v)", name, PresetNames())
+	}
+	if err := cfg.Validate(); err != nil {
+		return Config{}, err
+	}
+	return cfg, nil
 }
 
 // Hash returns the SHA-256 of the schedule's full content (arrival times,

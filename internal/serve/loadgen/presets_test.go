@@ -1,0 +1,183 @@
+package loadgen
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func raidCfg() Config {
+	return Config{Shape: RaidBrigade, Seed: 11, Duration: 10 * time.Second,
+		BaseRate: 50, PeakRate: 400, SpikeStart: 3 * time.Second,
+		SpikeDur: 3 * time.Second, Channels: 4, ActionDim: 8, AudienceDim: 3,
+		RaidTarget: 2}
+}
+
+func driftCfg() Config {
+	return Config{Shape: SlowBurnDrift, Seed: 12, Duration: 10 * time.Second,
+		BaseRate: 200, Channels: 4, ActionDim: 8, AudienceDim: 3, Drift: 2.0}
+}
+
+// dist measures an arrival's distance from its channel's base point.
+func dist(cfg Config, a *Arrival) float64 {
+	action, audience := BaseFeatures(cfg, a.ChannelIndex)
+	var s float64
+	for j, v := range a.Action {
+		d := v - action[j]
+		s += d * d
+	}
+	for j, v := range a.Audience {
+		d := v - audience[j]
+		s += d * d
+	}
+	return math.Sqrt(s)
+}
+
+func TestRaidBrigadeShape(t *testing.T) {
+	cfg := raidCfg()
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var inWin, onTarget int
+	var inDist, outDist float64
+	var outN int
+	for i := range s.Arrivals {
+		a := &s.Arrivals[i]
+		if a.At >= cfg.SpikeStart && a.At < cfg.SpikeStart+cfg.SpikeDur {
+			inWin++
+			if a.ChannelIndex == cfg.RaidTarget {
+				onTarget++
+				inDist += dist(cfg, a)
+			}
+		} else {
+			outN++
+			outDist += dist(cfg, a)
+		}
+	}
+	if inWin == 0 || outN == 0 {
+		t.Fatalf("degenerate schedule: %d in-window, %d outside", inWin, outN)
+	}
+	// The default RaidFraction (0.8) plus the uniform 1/4 background means
+	// ~85% of in-window arrivals hit the target.
+	if frac := float64(onTarget) / float64(inWin); frac < 0.7 {
+		t.Fatalf("only %.0f%% of in-window arrivals hit the raid target", frac*100)
+	}
+	// Raid arrivals are displaced ~RaidOffset (1.5 default) from the base;
+	// background arrivals only by jitter.
+	meanIn, meanOut := inDist/float64(onTarget), outDist/float64(outN)
+	if meanIn < 1.0 || meanOut > 0.5 {
+		t.Fatalf("raid displacement %.2f vs background %.2f — raid shift not applied", meanIn, meanOut)
+	}
+	// The rate profile matches FlashCrowd's window arithmetic.
+	if got, want := cfg.RateAt(cfg.SpikeStart), cfg.PeakRate; got != want {
+		t.Fatalf("in-window rate %g, want %g", got, want)
+	}
+	if got, want := cfg.ExpectedArrivals(), 50.0*7+400*3; math.Abs(got-want) > 1e-9 {
+		t.Fatalf("ExpectedArrivals = %g, want %g", got, want)
+	}
+}
+
+func TestSlowBurnDriftShape(t *testing.T) {
+	cfg := driftCfg()
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mean displacement grows with time: compare the first and last decile.
+	var early, late float64
+	var earlyN, lateN int
+	for i := range s.Arrivals {
+		a := &s.Arrivals[i]
+		switch {
+		case a.At < cfg.Duration/10:
+			early += dist(cfg, a)
+			earlyN++
+		case a.At > cfg.Duration*9/10:
+			late += dist(cfg, a)
+			lateN++
+		}
+	}
+	if earlyN == 0 || lateN == 0 {
+		t.Fatal("degenerate schedule")
+	}
+	meanEarly, meanLate := early/float64(earlyN), late/float64(lateN)
+	// Drift 2.0 ⇒ late arrivals sit ~1.8+ away, early ones near jitter.
+	if meanLate < meanEarly*3 || meanLate < 1.0 {
+		t.Fatalf("drift not progressing: early %.3f late %.3f", meanEarly, meanLate)
+	}
+	// Steady offered rate despite the drifting content.
+	if got := cfg.RateAt(cfg.Duration / 2); got != cfg.BaseRate {
+		t.Fatalf("drift rate %g, want steady %g", got, cfg.BaseRate)
+	}
+}
+
+func TestAdversarialShapesDeterministic(t *testing.T) {
+	for _, cfg := range []Config{raidCfg(), driftCfg()} {
+		a, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Hash() != b.Hash() {
+			t.Fatalf("%v: same seed, different schedules", cfg.Shape)
+		}
+		cfg.Seed++
+		c, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c.Hash() == a.Hash() {
+			t.Fatalf("%v: different seed, same schedule", cfg.Shape)
+		}
+	}
+}
+
+func TestAdversarialPresets(t *testing.T) {
+	seen := map[string]bool{}
+	for _, name := range PresetNames() {
+		cfg, err := AdversarialPreset(name, 42, 4, 8, 3)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if got := cfg.Shape.String(); got != name {
+			t.Errorf("preset %s produced shape %s", name, got)
+		}
+		s, err := New(cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(s.Arrivals) == 0 {
+			t.Fatalf("%s: empty schedule", name)
+		}
+		if seen[s.Hash()] {
+			t.Fatalf("%s: hash collides with another preset", name)
+		}
+		seen[s.Hash()] = true
+	}
+	if _, err := AdversarialPreset("zerg-rush", 42, 4, 8, 3); err == nil {
+		t.Fatal("unknown preset accepted")
+	}
+}
+
+func TestValidateAdversarial(t *testing.T) {
+	bad := []Config{
+		func() Config { c := raidCfg(); c.RaidTarget = 4; return c }(),     // target out of range
+		func() Config { c := raidCfg(); c.RaidFraction = 1.5; return c }(), // fraction > 1
+		func() Config { c := raidCfg(); c.SpikeDur = 0; return c }(),       // raid needs a window
+		func() Config { c := driftCfg(); c.Drift = -1; return c }(),        // negative drift
+	}
+	for i, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("bad adversarial config %d accepted: %+v", i, cfg)
+		}
+	}
+	for _, cfg := range []Config{raidCfg(), driftCfg()} {
+		if err := cfg.Validate(); err != nil {
+			t.Errorf("%v rejected: %v", cfg.Shape, err)
+		}
+	}
+}

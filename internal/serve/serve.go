@@ -29,8 +29,9 @@
 // translating into throughput on multicore hosts.
 //
 // The pool is the seam every future scaling layer plugs into: cmd/aovlisd
-// fronts it with HTTP+NDJSON, examples/multichannel drives 64 synthetic
-// channels through it, and the pool benchmark in the root package measures
+// fronts it with HTTP+NDJSON and live WebSocket ingest,
+// examples/livestream drives concurrent channels through it over the live
+// plane, and the pool benchmark in the root package measures
 // segments/sec against shard count and batch cap.
 package serve
 
@@ -972,6 +973,25 @@ func (p *DetectorPool) AttachVerdictSink(s VerdictSink) {
 
 // AppliedSeq reports the channel's applied journal floor (0 for unknown
 // channels or journal-less pools).
+// WithChannel runs fn against id's detector at a segment boundary: fn
+// executes inside the channel's shard worker, so no Observe on that shard
+// is concurrent with it and the detector's state is between segments.
+// This is the continual-learning seam — the absorb loop merges a live
+// channel's weights into the shared base through it without stopping the
+// stream. fn must not call back into the pool (it would deadlock on its
+// own shard) and should be brief: the whole shard is held while it runs.
+func (p *DetectorPool) WithChannel(id string, fn func(det Detector) error) error {
+	ch, ok := p.lookup(id)
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownChannel, id)
+	}
+	var fnErr error
+	if err := p.quiesce(ch, func() { fnErr = fn(ch.det) }); err != nil {
+		return err
+	}
+	return fnErr
+}
+
 func (p *DetectorPool) AppliedSeq(id string) uint64 {
 	ch, ok := p.lookup(id)
 	if !ok {

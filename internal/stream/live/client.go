@@ -1,0 +1,102 @@
+package live
+
+import (
+	"bufio"
+	"crypto/rand"
+	"encoding/base64"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/url"
+	"strings"
+	"time"
+)
+
+// ErrBadHandshake reports a server that answered the upgrade request with
+// something other than 101. The *http.Response returned alongside it
+// carries the status and (bounded) body for diagnosis — the ingest
+// endpoint uses plain HTTP statuses (404, 409, 429) to refuse upgrades.
+var ErrBadHandshake = fmt.Errorf("live: websocket handshake refused")
+
+// Dial opens a client WebSocket connection to rawurl (http:// or ws://
+// scheme; TLS is out of scope for the in-repo fleet). header adds request
+// headers — the resume protocol's Last-Seq rides here. On a non-101
+// answer the response is returned with a drained body and the error is
+// ErrBadHandshake.
+func Dial(rawurl string, header http.Header) (*Conn, *http.Response, error) {
+	return DialTimeout(rawurl, header, 10*time.Second)
+}
+
+// DialTimeout is Dial with an explicit TCP connect + handshake deadline.
+func DialTimeout(rawurl string, header http.Header, timeout time.Duration) (*Conn, *http.Response, error) {
+	u, err := url.Parse(rawurl)
+	if err != nil {
+		return nil, nil, fmt.Errorf("live: dial %q: %w", rawurl, err)
+	}
+	switch u.Scheme {
+	case "http", "ws":
+	default:
+		return nil, nil, fmt.Errorf("live: dial %q: unsupported scheme %q (plaintext only)", rawurl, u.Scheme)
+	}
+	host := u.Host
+	if !strings.Contains(host, ":") {
+		host += ":80"
+	}
+	nc, err := net.DialTimeout("tcp", host, timeout)
+	if err != nil {
+		return nil, nil, fmt.Errorf("live: dial %s: %w", host, err)
+	}
+	nc.SetDeadline(time.Now().Add(timeout))
+
+	var keyRaw [16]byte
+	if _, err := rand.Read(keyRaw[:]); err != nil {
+		nc.Close()
+		return nil, nil, err
+	}
+	key := base64.StdEncoding.EncodeToString(keyRaw[:])
+
+	path := u.RequestURI()
+	if path == "" {
+		path = "/"
+	}
+	var req strings.Builder
+	req.WriteString("GET " + path + " HTTP/1.1\r\n")
+	req.WriteString("Host: " + u.Host + "\r\n")
+	req.WriteString("Upgrade: websocket\r\n")
+	req.WriteString("Connection: Upgrade\r\n")
+	req.WriteString("Sec-WebSocket-Key: " + key + "\r\n")
+	req.WriteString("Sec-WebSocket-Version: 13\r\n")
+	for k, vs := range header {
+		for _, v := range vs {
+			req.WriteString(k + ": " + v + "\r\n")
+		}
+	}
+	req.WriteString("\r\n")
+	if _, err := io.WriteString(nc, req.String()); err != nil {
+		nc.Close()
+		return nil, nil, fmt.Errorf("live: writing handshake: %w", err)
+	}
+
+	br := bufio.NewReader(nc)
+	resp, err := http.ReadResponse(br, &http.Request{Method: http.MethodGet})
+	if err != nil {
+		nc.Close()
+		return nil, nil, fmt.Errorf("live: reading handshake response: %w", err)
+	}
+	if resp.StatusCode != http.StatusSwitchingProtocols {
+		// Drain a bounded body so the caller can report the refusal, then
+		// detach it from the dead connection.
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 8<<10))
+		resp.Body.Close()
+		resp.Body = io.NopCloser(strings.NewReader(string(body)))
+		nc.Close()
+		return nil, resp, fmt.Errorf("%w: status %d: %s", ErrBadHandshake, resp.StatusCode, strings.TrimSpace(string(body)))
+	}
+	if got := resp.Header.Get("Sec-WebSocket-Accept"); got != AcceptKey(key) {
+		nc.Close()
+		return nil, resp, fmt.Errorf("live: handshake accept mismatch (got %q)", got)
+	}
+	nc.SetDeadline(time.Time{})
+	return newConn(nc, br, true, 0), resp, nil
+}

@@ -1,0 +1,357 @@
+package live
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+)
+
+// Hub is the live layer's shared state: one bounded decision ring per
+// channel (the WebSocket resume buffer) and one global event ring fanned
+// out to SSE dashboard subscribers (GET /watch, Last-Event-ID reconnect).
+//
+// The rings are the reconnect story's in-memory half: a connection drop
+// loses only bytes in flight, and the ring replays them. Process death
+// loses the rings too — there the WAL floor (X-Aovlis-Resume) keeps
+// accepted segments from being resent, and verdicts that were never
+// delivered remain recoverable from the verdict ledger offline.
+type Hub struct {
+	mu       sync.Mutex
+	chans    map[string]*chanState
+	watch    []watchEvent // ring, watch[i] valid for i in [watchHead-len, watchHead)
+	watchCap int
+	nextID   uint64
+	subs     map[*watchSub]struct{}
+	closed   bool
+	ringCap  int
+	subBuf   int
+}
+
+// HubConfig sizes the hub's rings.
+type HubConfig struct {
+	// RingCap bounds each channel's resume ring (default 1024 decisions).
+	RingCap int
+	// WatchCap bounds the SSE replay ring (default 1024 events).
+	WatchCap int
+	// SubBuf is each SSE subscriber's buffer; a subscriber that falls this
+	// far behind is disconnected rather than allowed to backpressure the
+	// scoring path (default 256).
+	SubBuf int
+}
+
+// NewHub builds an empty hub.
+func NewHub(cfg HubConfig) *Hub {
+	if cfg.RingCap <= 0 {
+		cfg.RingCap = 1024
+	}
+	if cfg.WatchCap <= 0 {
+		cfg.WatchCap = 1024
+	}
+	if cfg.SubBuf <= 0 {
+		cfg.SubBuf = 256
+	}
+	return &Hub{
+		chans:    make(map[string]*chanState),
+		watchCap: cfg.WatchCap,
+		ringCap:  cfg.RingCap,
+		subBuf:   cfg.SubBuf,
+		subs:     make(map[*watchSub]struct{}),
+	}
+}
+
+// chanState is one channel's live-side state.
+type chanState struct {
+	active bool
+	conn   io.Closer // bound connection of the active session (may be nil)
+	last   uint64    // highest appended decision seq
+	ring   []ringEntry
+}
+
+type ringEntry struct {
+	seq     uint64
+	payload []byte
+}
+
+type watchEvent struct {
+	id      uint64
+	channel string
+	payload []byte
+}
+
+type watchSub struct {
+	ch      chan watchEvent
+	channel string // filter; "" = all
+}
+
+// Errors the session API returns.
+var (
+	ErrHubClosed   = fmt.Errorf("live: hub closed")
+	ErrChannelBusy = fmt.Errorf("live: channel already has an active live connection")
+)
+
+// Session is a channel's exclusive live-producer handle: one per channel
+// at a time, so decision sequences stay totally ordered per channel.
+type Session struct {
+	h  *Hub
+	id string
+	st *chanState
+}
+
+// Acquire claims the channel's producer slot. A second concurrent live
+// connection is refused — per-connection resume only composes with a
+// single totally-ordered decision stream per channel.
+func (h *Hub) Acquire(channel string) (*Session, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return nil, ErrHubClosed
+	}
+	st := h.chans[channel]
+	if st == nil {
+		st = &chanState{}
+		h.chans[channel] = st
+	}
+	if st.active {
+		return nil, ErrChannelBusy
+	}
+	st.active = true
+	st.conn = nil
+	return &Session{h: h, id: channel, st: st}, nil
+}
+
+// Bind attaches the session's connection so Hub.Close can cut it — the
+// race-clean-teardown half of the contract: shutdown closes every bound
+// connection, which unblocks every handler's read loop.
+func (s *Session) Bind(c io.Closer) {
+	s.h.mu.Lock()
+	s.st.conn = c
+	s.h.mu.Unlock()
+}
+
+// Release frees the channel's producer slot.
+func (s *Session) Release() {
+	s.h.mu.Lock()
+	s.st.active = false
+	s.st.conn = nil
+	s.h.mu.Unlock()
+}
+
+// Last returns the channel's highest appended decision seq.
+func (s *Session) Last() uint64 {
+	s.h.mu.Lock()
+	defer s.h.mu.Unlock()
+	return s.st.last
+}
+
+// Append records an accepted decision under seq (strictly increasing per
+// channel) for resume replay.
+func (s *Session) Append(seq uint64, payload []byte) error {
+	s.h.mu.Lock()
+	defer s.h.mu.Unlock()
+	if seq <= s.st.last {
+		return fmt.Errorf("live: non-monotonic decision seq %d (last %d) on %s", seq, s.st.last, s.id)
+	}
+	s.st.last = seq
+	p := append([]byte(nil), payload...)
+	if len(s.st.ring) >= s.h.ringCap {
+		// Drop the oldest: copy-down keeps the ring a plain slice; ringCap
+		// is small and appends are per-decision, not per-byte.
+		copy(s.st.ring, s.st.ring[1:])
+		s.st.ring[len(s.st.ring)-1] = ringEntry{seq: seq, payload: p}
+	} else {
+		s.st.ring = append(s.st.ring, ringEntry{seq: seq, payload: p})
+	}
+	return nil
+}
+
+// Replay walks the retained decisions with seq > after, oldest first,
+// stopping on the first error.
+func (s *Session) Replay(after uint64, fn func(seq uint64, payload []byte) error) error {
+	s.h.mu.Lock()
+	entries := make([]ringEntry, 0, len(s.st.ring))
+	for _, e := range s.st.ring {
+		if e.seq > after {
+			entries = append(entries, e)
+		}
+	}
+	s.h.mu.Unlock()
+	for _, e := range entries {
+		if err := fn(e.seq, e.payload); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ChannelFloor reports a channel's hub-side accepted floor without
+// holding a session — the router and stats paths read it.
+func (h *Hub) ChannelFloor(channel string) uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if st := h.chans[channel]; st != nil {
+		return st.last
+	}
+	return 0
+}
+
+// Publish appends one verdict event to the watch ring and fans it out to
+// the SSE subscribers. Called from the pool's verdict sink — it must
+// never block on a slow dashboard, so a subscriber whose buffer is full
+// is disconnected instead of waited for.
+func (h *Hub) Publish(channel string, payload []byte) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return
+	}
+	h.nextID++
+	ev := watchEvent{id: h.nextID, channel: channel, payload: append([]byte(nil), payload...)}
+	if len(h.watch) >= h.watchCap {
+		copy(h.watch, h.watch[1:])
+		h.watch[len(h.watch)-1] = ev
+	} else {
+		h.watch = append(h.watch, ev)
+	}
+	for sub := range h.subs {
+		if sub.channel != "" && sub.channel != channel {
+			continue
+		}
+		select {
+		case sub.ch <- ev:
+		default:
+			delete(h.subs, sub)
+			close(sub.ch)
+		}
+	}
+}
+
+// ServeWatch serves the SSE dashboard stream: every published verdict as
+// an `event: verdict` with its ring id, replaying retained events above
+// the client's Last-Event-ID (header or ?last_id=) first. ?channel=
+// filters to one channel.
+func (h *Hub) ServeWatch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "watch wants GET", http.StatusMethodNotAllowed)
+		return
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "watch needs a flushable connection", http.StatusInternalServerError)
+		return
+	}
+	after := uint64(0)
+	lastID := r.Header.Get("Last-Event-ID")
+	if lastID == "" {
+		lastID = r.URL.Query().Get("last_id")
+	}
+	if lastID != "" {
+		v, err := strconv.ParseUint(lastID, 10, 64)
+		if err != nil {
+			http.Error(w, "bad Last-Event-ID", http.StatusBadRequest)
+			return
+		}
+		after = v
+	}
+	filter := r.URL.Query().Get("channel")
+
+	// Replay and subscribe under one lock so no event can fall in the gap
+	// between them.
+	h.mu.Lock()
+	if h.closed {
+		h.mu.Unlock()
+		http.Error(w, "shutting down", http.StatusServiceUnavailable)
+		return
+	}
+	replay := make([]watchEvent, 0, len(h.watch))
+	for _, ev := range h.watch {
+		if ev.id > after && (filter == "" || filter == ev.channel) {
+			replay = append(replay, ev)
+		}
+	}
+	sub := &watchSub{ch: make(chan watchEvent, h.subBufLocked()), channel: filter}
+	h.subs[sub] = struct{}{}
+	h.mu.Unlock()
+	defer func() {
+		h.mu.Lock()
+		if _, live := h.subs[sub]; live {
+			delete(h.subs, sub)
+		}
+		h.mu.Unlock()
+	}()
+
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	// Flush the headers (as an SSE comment) before waiting for events: the
+	// client learns the stream is up immediately, and because the
+	// subscription is already registered, anything it publishes-after-
+	// connect is guaranteed delivery — replay and live leave no gap.
+	fmt.Fprintf(w, ": live\n\n")
+	flusher.Flush()
+	writeEvent := func(ev watchEvent) bool {
+		if _, err := fmt.Fprintf(w, "id: %d\nevent: verdict\ndata: %s\n\n", ev.id, ev.payload); err != nil {
+			return false
+		}
+		flusher.Flush()
+		return true
+	}
+	for _, ev := range replay {
+		if !writeEvent(ev) {
+			return
+		}
+	}
+	ctx := r.Context()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case ev, ok := <-sub.ch:
+			if !ok {
+				// Hub closed or this subscriber fell too far behind; either
+				// way the client should reconnect with its Last-Event-ID.
+				fmt.Fprintf(w, ": stream closed, reconnect with Last-Event-ID\n\n")
+				flusher.Flush()
+				return
+			}
+			if !writeEvent(ev) {
+				return
+			}
+		}
+	}
+}
+
+// subBufLocked returns the configured subscriber buffer. Callers hold mu.
+func (h *Hub) subBufLocked() int {
+	if h.subBuf <= 0 {
+		return 256
+	}
+	return h.subBuf
+}
+
+// Close tears the hub down: every bound live connection is closed (which
+// unblocks its handler's read loop) and every SSE subscriber stream ends.
+// Idempotent.
+func (h *Hub) Close() {
+	h.mu.Lock()
+	if h.closed {
+		h.mu.Unlock()
+		return
+	}
+	h.closed = true
+	var conns []io.Closer
+	for _, st := range h.chans {
+		if st.conn != nil {
+			conns = append(conns, st.conn)
+			st.conn = nil
+		}
+	}
+	for sub := range h.subs {
+		delete(h.subs, sub)
+		close(sub.ch)
+	}
+	h.mu.Unlock()
+	for _, c := range conns {
+		c.Close()
+	}
+}

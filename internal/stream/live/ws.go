@@ -1,0 +1,461 @@
+// Package live is the daemon's live-protocol layer: a dependency-free
+// RFC 6455 WebSocket server and client pair, an SSE fan-out hub with
+// replayable event rings, and the ingest handler that bridges WebSocket
+// observation streams onto a serve.DetectorPool (ISSUE 10).
+//
+// The package exists so the paper's actual setting — live social video
+// streams pushing segments as they happen — has a first-class transport
+// instead of batch NDJSON replay. The protocol layer is deliberately
+// small: text messages in both directions carry the same JSON objects the
+// NDJSON endpoints use ({"action":[...],"audience":[...]} in,
+// decision objects out), so a client can switch transports without
+// changing its payload handling.
+//
+// Resume contract (ARCHITECTURE.md §15): every accepted observation is
+// assigned a per-channel sequence (the WAL sequence when the pool runs
+// with a journal, a hub-local counter otherwise). A reconnecting client
+// sends `Last-Seq: N`; the 101 response carries `X-Aovlis-Resume: M`, the
+// channel's accepted floor. Decisions in (N, M] that are still in the
+// hub's ring are replayed over the new connection; observations the
+// client sent beyond M were never accepted and must be resent. Because M
+// is never below the WAL floor, a segment the server acknowledged is
+// never resent and therefore never double-applied — the live layer
+// composes with the journal's exactly-once story instead of inventing its
+// own.
+package live
+
+import (
+	"bufio"
+	"crypto/sha1"
+	"encoding/base64"
+	"encoding/binary"
+	"fmt"
+	"net"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Opcode is an RFC 6455 frame opcode.
+type Opcode byte
+
+// The opcodes the protocol defines; anything else is a protocol error.
+const (
+	OpContinuation Opcode = 0x0
+	OpText         Opcode = 0x1
+	OpBinary       Opcode = 0x2
+	OpClose        Opcode = 0x8
+	OpPing         Opcode = 0x9
+	OpPong         Opcode = 0xA
+)
+
+// Close codes (RFC 6455 §7.4.1) the package uses.
+const (
+	CloseNormal        = 1000
+	CloseGoingAway     = 1001
+	CloseProtocolError = 1002
+	ClosePolicy        = 1008
+	CloseTooBig        = 1009
+	CloseInternal      = 1011
+)
+
+// wsGUID is the fixed handshake GUID from RFC 6455 §1.3.
+const wsGUID = "258EAFA5-E914-47DA-95CA-C5AB0DC85B11"
+
+// DefaultMaxMessage bounds a reassembled message when Options.MaxMessage
+// is zero. Observation vectors are a few KB; 1 MiB leaves generous
+// headroom without letting one connection balloon the heap.
+const DefaultMaxMessage = 1 << 20
+
+// AcceptKey derives the Sec-WebSocket-Accept value for a handshake key.
+func AcceptKey(key string) string {
+	h := sha1.Sum([]byte(key + wsGUID))
+	return base64.StdEncoding.EncodeToString(h[:])
+}
+
+// CloseError reports a closed WebSocket: either the peer sent a close
+// frame (its code and reason are carried through) or this side aborted
+// the connection after a protocol violation.
+type CloseError struct {
+	Code   int
+	Reason string
+}
+
+func (e *CloseError) Error() string {
+	if e.Reason == "" {
+		return fmt.Sprintf("websocket: closed with code %d", e.Code)
+	}
+	return fmt.Sprintf("websocket: closed with code %d: %s", e.Code, e.Reason)
+}
+
+// Options configures an upgraded connection.
+type Options struct {
+	// MaxMessage caps a reassembled message's payload bytes
+	// (0 → DefaultMaxMessage). Oversized messages close the connection
+	// with code 1009.
+	MaxMessage int
+	// Header adds response headers to the 101 handshake (e.g. the
+	// X-Aovlis-Resume floor).
+	Header http.Header
+}
+
+// Conn is one WebSocket connection. Reads must come from a single
+// goroutine; writes are internally serialised so control replies (pongs,
+// close echoes) may race application writes safely.
+type Conn struct {
+	conn   net.Conn
+	br     *bufio.Reader
+	client bool // client conns send masked, expect unmasked
+	maxMsg int
+
+	wmu       sync.Mutex
+	bw        *bufio.Writer
+	sentClose bool
+	maskSeed  uint64 // client mask keystream (xorshift; masking needs no CSPRNG)
+
+	// OnPong, when set, observes pong payloads from inside ReadMessage —
+	// the keepalive tests use it to assert ping/pong round trips. Set it
+	// before the read loop starts.
+	OnPong func(payload []byte)
+}
+
+// Upgrade performs the server half of the RFC 6455 handshake and hijacks
+// the connection. On a handshake violation it writes the appropriate HTTP
+// error itself and returns a non-nil error.
+func Upgrade(w http.ResponseWriter, r *http.Request, opts *Options) (*Conn, error) {
+	if opts == nil {
+		opts = &Options{}
+	}
+	if r.Method != http.MethodGet {
+		http.Error(w, "websocket handshake wants GET", http.StatusMethodNotAllowed)
+		return nil, fmt.Errorf("live: handshake method %s", r.Method)
+	}
+	if !headerHasToken(r.Header, "Connection", "upgrade") {
+		http.Error(w, "websocket handshake needs Connection: Upgrade", http.StatusBadRequest)
+		return nil, fmt.Errorf("live: missing Connection: Upgrade")
+	}
+	if !strings.EqualFold(r.Header.Get("Upgrade"), "websocket") {
+		http.Error(w, "websocket handshake needs Upgrade: websocket", http.StatusBadRequest)
+		return nil, fmt.Errorf("live: missing Upgrade: websocket")
+	}
+	if v := r.Header.Get("Sec-WebSocket-Version"); v != "13" {
+		w.Header().Set("Sec-WebSocket-Version", "13")
+		http.Error(w, "unsupported websocket version", http.StatusUpgradeRequired)
+		return nil, fmt.Errorf("live: unsupported Sec-WebSocket-Version %q", v)
+	}
+	key := r.Header.Get("Sec-WebSocket-Key")
+	if raw, err := base64.StdEncoding.DecodeString(key); err != nil || len(raw) != 16 {
+		http.Error(w, "bad Sec-WebSocket-Key", http.StatusBadRequest)
+		return nil, fmt.Errorf("live: bad Sec-WebSocket-Key %q", key)
+	}
+	hj, ok := w.(http.Hijacker)
+	if !ok {
+		http.Error(w, "websocket needs a hijackable connection", http.StatusInternalServerError)
+		return nil, fmt.Errorf("live: ResponseWriter is not a Hijacker")
+	}
+	nc, brw, err := hj.Hijack()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return nil, fmt.Errorf("live: hijack: %w", err)
+	}
+	var resp strings.Builder
+	resp.WriteString("HTTP/1.1 101 Switching Protocols\r\n")
+	resp.WriteString("Upgrade: websocket\r\n")
+	resp.WriteString("Connection: Upgrade\r\n")
+	resp.WriteString("Sec-WebSocket-Accept: " + AcceptKey(key) + "\r\n")
+	for k, vs := range opts.Header {
+		for _, v := range vs {
+			resp.WriteString(k + ": " + v + "\r\n")
+		}
+	}
+	resp.WriteString("\r\n")
+	if _, err := brw.WriteString(resp.String()); err != nil {
+		nc.Close()
+		return nil, fmt.Errorf("live: writing handshake: %w", err)
+	}
+	if err := brw.Flush(); err != nil {
+		nc.Close()
+		return nil, fmt.Errorf("live: flushing handshake: %w", err)
+	}
+	return newConn(nc, brw.Reader, false, opts.MaxMessage), nil
+}
+
+func newConn(nc net.Conn, br *bufio.Reader, client bool, maxMsg int) *Conn {
+	if maxMsg <= 0 {
+		maxMsg = DefaultMaxMessage
+	}
+	if br == nil {
+		br = bufio.NewReader(nc)
+	}
+	return &Conn{conn: nc, br: br, client: client, maxMsg: maxMsg,
+		bw: bufio.NewWriter(nc), maskSeed: uint64(time.Now().UnixNano()) | 1}
+}
+
+// headerHasToken reports whether any value of header key contains token
+// in its comma-separated list (case-insensitive) — "keep-alive, Upgrade"
+// must match.
+func headerHasToken(h http.Header, key, token string) bool {
+	for _, v := range h.Values(key) {
+		for _, part := range strings.Split(v, ",") {
+			if strings.EqualFold(strings.TrimSpace(part), token) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// ReadMessage returns the next complete data message, transparently
+// reassembling fragments and handling interleaved control frames (pings
+// are answered, pongs handed to OnPong). A close frame from the peer is
+// echoed once and surfaces as *CloseError; protocol violations close the
+// connection with the matching code and also surface as *CloseError.
+func (c *Conn) ReadMessage() (Opcode, []byte, error) {
+	var (
+		msg     []byte
+		op      Opcode
+		started bool
+	)
+	for {
+		fin, fop, payload, err := c.readFrame()
+		if err != nil {
+			return 0, nil, err
+		}
+		switch fop {
+		case OpPing:
+			if werr := c.writeControl(OpPong, payload); werr != nil {
+				return 0, nil, werr
+			}
+		case OpPong:
+			if c.OnPong != nil {
+				c.OnPong(payload)
+			}
+		case OpClose:
+			code, reason := CloseNormal, ""
+			if len(payload) >= 2 {
+				code = int(binary.BigEndian.Uint16(payload))
+				reason = string(payload[2:])
+			}
+			c.WriteClose(code, "")
+			return 0, nil, &CloseError{Code: code, Reason: reason}
+		case OpContinuation:
+			if !started {
+				return 0, nil, c.fail(CloseProtocolError, "continuation without a started message")
+			}
+			if len(msg)+len(payload) > c.maxMsg {
+				return 0, nil, c.fail(CloseTooBig, "message exceeds limit")
+			}
+			msg = append(msg, payload...)
+			if fin {
+				return op, msg, nil
+			}
+		case OpText, OpBinary:
+			if started {
+				return 0, nil, c.fail(CloseProtocolError, "new data frame inside a fragmented message")
+			}
+			if len(payload) > c.maxMsg {
+				return 0, nil, c.fail(CloseTooBig, "message exceeds limit")
+			}
+			op, started = fop, true
+			msg = append(msg, payload...)
+			if fin {
+				return op, msg, nil
+			}
+		default:
+			return 0, nil, c.fail(CloseProtocolError, fmt.Sprintf("reserved opcode %d", fop))
+		}
+	}
+}
+
+// readFrame reads and validates one frame, unmasking the payload.
+func (c *Conn) readFrame() (fin bool, op Opcode, payload []byte, err error) {
+	var hdr [2]byte
+	if _, err := readFull(c.br, hdr[:]); err != nil {
+		return false, 0, nil, err
+	}
+	fin = hdr[0]&0x80 != 0
+	if hdr[0]&0x70 != 0 {
+		return false, 0, nil, c.fail(CloseProtocolError, "nonzero RSV bits")
+	}
+	op = Opcode(hdr[0] & 0x0f)
+	masked := hdr[1]&0x80 != 0
+	n := uint64(hdr[1] & 0x7f)
+	control := op >= OpClose
+	if control {
+		if !fin {
+			return false, 0, nil, c.fail(CloseProtocolError, "fragmented control frame")
+		}
+		if n > 125 {
+			return false, 0, nil, c.fail(CloseProtocolError, "oversized control frame")
+		}
+	}
+	switch n {
+	case 126:
+		var ext [2]byte
+		if _, err := readFull(c.br, ext[:]); err != nil {
+			return false, 0, nil, err
+		}
+		n = uint64(binary.BigEndian.Uint16(ext[:]))
+	case 127:
+		var ext [8]byte
+		if _, err := readFull(c.br, ext[:]); err != nil {
+			return false, 0, nil, err
+		}
+		n = binary.BigEndian.Uint64(ext[:])
+		if n&(1<<63) != 0 {
+			return false, 0, nil, c.fail(CloseProtocolError, "frame length high bit set")
+		}
+	}
+	// RFC 6455 §5.1: client frames MUST be masked, server frames MUST NOT.
+	if !c.client && !masked {
+		return false, 0, nil, c.fail(CloseProtocolError, "unmasked client frame")
+	}
+	if c.client && masked {
+		return false, 0, nil, c.fail(CloseProtocolError, "masked server frame")
+	}
+	// Reject before reading: a declared length past the limit must not
+	// make the server buffer it first.
+	if n > uint64(c.maxMsg) {
+		return false, 0, nil, c.fail(CloseTooBig, "frame exceeds limit")
+	}
+	var mask [4]byte
+	if masked {
+		if _, err := readFull(c.br, mask[:]); err != nil {
+			return false, 0, nil, err
+		}
+	}
+	payload = make([]byte, int(n))
+	if _, err := readFull(c.br, payload); err != nil {
+		return false, 0, nil, err
+	}
+	if masked {
+		maskBytes(payload, mask)
+	}
+	return fin, op, payload, nil
+}
+
+// readFull is io.ReadFull with torn-frame normalisation: a connection cut
+// mid-frame always surfaces as an error (never a silent short read).
+func readFull(br *bufio.Reader, b []byte) (int, error) {
+	n := 0
+	for n < len(b) {
+		m, err := br.Read(b[n:])
+		n += m
+		if err != nil {
+			return n, fmt.Errorf("live: torn frame: %w", err)
+		}
+	}
+	return n, nil
+}
+
+func maskBytes(b []byte, key [4]byte) {
+	for i := range b {
+		b[i] ^= key[i&3]
+	}
+}
+
+// fail sends a close frame with code and returns the matching CloseError.
+func (c *Conn) fail(code int, reason string) error {
+	c.WriteClose(code, reason)
+	return &CloseError{Code: code, Reason: reason}
+}
+
+// WriteMessage writes one unfragmented data message. Safe for concurrent
+// use with the read loop's control replies.
+func (c *Conn) WriteMessage(op Opcode, payload []byte) error {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	if c.sentClose {
+		return &CloseError{Code: CloseNormal, Reason: "write after close"}
+	}
+	return c.writeFrameLocked(true, op, payload)
+}
+
+// writeControl writes a control frame (pong replies from the read path).
+func (c *Conn) writeControl(op Opcode, payload []byte) error {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	if c.sentClose {
+		return nil
+	}
+	return c.writeFrameLocked(true, op, payload)
+}
+
+// WriteClose sends a close frame once; later writes are refused. It does
+// not close the underlying connection — callers pair it with Close after
+// draining or a read deadline.
+func (c *Conn) WriteClose(code int, reason string) error {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	if c.sentClose {
+		return nil
+	}
+	payload := make([]byte, 2+len(reason))
+	binary.BigEndian.PutUint16(payload, uint16(code))
+	copy(payload[2:], reason)
+	err := c.writeFrameLocked(true, OpClose, payload)
+	c.sentClose = true
+	return err
+}
+
+// WriteFrame writes one pre-encoded frame verbatim — the conformance
+// generator's seam for fragmented, interleaved and deliberately torn
+// writes. The caller is responsible for frame validity.
+func (c *Conn) WriteFrame(f Frame) error {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	if c.sentClose {
+		return &CloseError{Code: CloseNormal, Reason: "write after close"}
+	}
+	if _, err := c.bw.Write(f.Append(nil)); err != nil {
+		return err
+	}
+	return c.bw.Flush()
+}
+
+// WriteRaw writes bytes straight to the connection — torn-frame tests
+// push partial frames through it.
+func (c *Conn) WriteRaw(b []byte) error {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	if _, err := c.bw.Write(b); err != nil {
+		return err
+	}
+	return c.bw.Flush()
+}
+
+func (c *Conn) writeFrameLocked(fin bool, op Opcode, payload []byte) error {
+	f := Frame{Fin: fin, Op: op, Payload: payload}
+	if c.client {
+		f.Masked = true
+		f.MaskKey = c.nextMask()
+	}
+	if _, err := c.bw.Write(f.Append(nil)); err != nil {
+		return err
+	}
+	return c.bw.Flush()
+}
+
+// nextMask draws the next client mask key (xorshift64*; masking exists to
+// defeat proxy cache poisoning, not cryptanalysis).
+func (c *Conn) nextMask() [4]byte {
+	x := c.maskSeed
+	x ^= x << 13
+	x ^= x >> 7
+	x ^= x << 17
+	c.maskSeed = x
+	var k [4]byte
+	binary.LittleEndian.PutUint32(k[:], uint32(x*0x2545F4914F6CDD1D>>32))
+	return k
+}
+
+// Close closes the underlying connection.
+func (c *Conn) Close() error { return c.conn.Close() }
+
+// NetConn exposes the underlying connection so tests can cut it abruptly
+// (the disconnect half of disconnect+resume).
+func (c *Conn) NetConn() net.Conn { return c.conn }
+
+// SetReadDeadline bounds the next reads.
+func (c *Conn) SetReadDeadline(t time.Time) error { return c.conn.SetReadDeadline(t) }

@@ -1,0 +1,83 @@
+package update
+
+import (
+	"fmt"
+	"sync"
+
+	"aovlis/internal/core"
+)
+
+// SharedBase is the cross-channel continual-learning accumulator (ISSUE
+// 10): one shared base parameter set that live channels periodically fold
+// their weights into, and that newly attached channels warm-start from.
+//
+// The division of labour mirrors the paper's dynamic-update merge: each
+// channel keeps training its OWN weights (its delta from the base), and
+// the absorb loop merges those weights into the base through the same
+// weighted parameter average the updater uses for
+// merge(CLSTM_new, CLSTM_{t-1}). The base therefore tracks the fleet's
+// consensus of "normal", so a channel attached mid-stream starts from
+// what its peers already learned instead of the cold training checkpoint
+// — measured as cold-start steps to the first stable verdict.
+//
+// SharedBase is safe for concurrent use; Absorb callers must hand in a
+// quiescent model (in the serving tier, run it inside
+// DetectorPool.WithChannel so the merge sits at a segment boundary).
+type SharedBase struct {
+	mu      sync.Mutex
+	base    *core.Model
+	absorbs int
+}
+
+// NewSharedBase seeds the base with a deep copy of m (typically the
+// trained template), so later absorbs never mutate the caller's model.
+func NewSharedBase(m *core.Model) *SharedBase {
+	return &SharedBase{base: m.Clone()}
+}
+
+// Absorb folds one channel's current weights into the base:
+// base ← (1−w)·base + w·ch. w is the per-absorb learning weight of the
+// incoming channel — small values keep the base a slow consensus, 1 would
+// overwrite it with the last channel absorbed.
+func (b *SharedBase) Absorb(ch *core.Model, w float64) error {
+	if w <= 0 || w > 1 {
+		return fmt.Errorf("update: absorb weight %g outside (0,1]", w)
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	// Model.Merge(other, w) keeps w·self + (1−w)·other, so the base's own
+	// share is 1−w.
+	if err := b.base.Merge(ch, 1-w); err != nil {
+		return err
+	}
+	b.absorbs++
+	return nil
+}
+
+// Seed warm-starts dst from the base: parameters are copied bit-exactly
+// and dst's optimizer state is reset (the base's Adam moments belong to
+// no one stream). dst's architecture must match the base's.
+func (b *SharedBase) Seed(dst *core.Model) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if err := dst.Params().CopyFrom(b.base.Params()); err != nil {
+		return err
+	}
+	dst.ResetOptimizer()
+	return nil
+}
+
+// Absorbs reports how many channel merges the base has accumulated.
+func (b *SharedBase) Absorbs() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.absorbs
+}
+
+// Snapshot returns a deep copy of the current base model (for export and
+// tests; the live base stays private to the accumulator).
+func (b *SharedBase) Snapshot() *core.Model {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.base.Clone()
+}

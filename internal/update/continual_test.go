@@ -1,0 +1,113 @@
+package update
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"aovlis/internal/core"
+)
+
+// paramDist is the L2 distance between two models' flattened parameters.
+func paramDist(t *testing.T, a, b *core.Model) float64 {
+	t.Helper()
+	pa, pb := a.Params(), b.Params()
+	var s float64
+	for _, n := range pa.Names() {
+		ma, mb := pa.Get(n), pb.Get(n)
+		if ma == nil || mb == nil {
+			t.Fatalf("parameter %q missing", n)
+		}
+		for i := range ma.Data {
+			d := ma.Data[i] - mb.Data[i]
+			s += d * d
+		}
+	}
+	return math.Sqrt(s)
+}
+
+func TestSharedBaseAbsorbMovesTowardChannel(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	tmpl := testModel(t)
+	if _, err := tmpl.TrainEpoch(makeSamples(t, rng, 60, 0), rng); err != nil {
+		t.Fatal(err)
+	}
+	base := NewSharedBase(tmpl)
+
+	// A channel that trained further on drifted content.
+	ch := tmpl.Clone()
+	for e := 0; e < 3; e++ {
+		if _, err := ch.TrainEpoch(makeSamples(t, rng, 60, 4), rng); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := paramDist(t, base.Snapshot(), ch)
+	if before == 0 {
+		t.Fatal("channel never diverged from the template")
+	}
+	if err := base.Absorb(ch, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	after := paramDist(t, base.Snapshot(), ch)
+	if after >= before {
+		t.Fatalf("absorb did not move the base toward the channel: %g → %g", before, after)
+	}
+	// w=0.5 halves the distance exactly (weighted average).
+	if math.Abs(after-before/2) > 1e-9*before {
+		t.Fatalf("absorb at w=0.5 moved distance %g → %g, want %g", before, after, before/2)
+	}
+	if base.Absorbs() != 1 {
+		t.Fatalf("Absorbs = %d, want 1", base.Absorbs())
+	}
+	// The template itself must be untouched (NewSharedBase deep-copied).
+	fresh := NewSharedBase(tmpl)
+	if d := paramDist(t, fresh.Snapshot(), tmpl); d != 0 {
+		t.Fatalf("template mutated by absorb: dist %g", d)
+	}
+}
+
+func TestSharedBaseSeedCopiesExactly(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	tmpl := testModel(t)
+	if _, err := tmpl.TrainEpoch(makeSamples(t, rng, 60, 0), rng); err != nil {
+		t.Fatal(err)
+	}
+	base := NewSharedBase(tmpl)
+	ch := tmpl.Clone()
+	if _, err := ch.TrainEpoch(makeSamples(t, rng, 60, 4), rng); err != nil {
+		t.Fatal(err)
+	}
+	if err := base.Absorb(ch, 0.3); err != nil {
+		t.Fatal(err)
+	}
+	dst := testModel(t)
+	if err := base.Seed(dst); err != nil {
+		t.Fatal(err)
+	}
+	if d := paramDist(t, dst, base.Snapshot()); d != 0 {
+		t.Fatalf("seeded model differs from base by %g", d)
+	}
+}
+
+func TestSharedBaseRejects(t *testing.T) {
+	base := NewSharedBase(testModel(t))
+	for _, w := range []float64{0, -0.1, 1.5} {
+		if err := base.Absorb(testModel(t), w); err == nil {
+			t.Errorf("absorb weight %g accepted", w)
+		}
+	}
+	// Architecture mismatch is refused by the merge path.
+	cfg := core.DefaultConfig(8, 4)
+	cfg.HiddenI, cfg.HiddenA = 4, 3
+	cfg.SeqLen = 3
+	other, err := core.NewModel(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := base.Absorb(other, 0.5); err == nil {
+		t.Error("absorb across architectures accepted")
+	}
+	if err := base.Seed(other); err == nil {
+		t.Error("seed across architectures accepted")
+	}
+}

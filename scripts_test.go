@@ -176,6 +176,85 @@ func TestWalsmokeAckedFloorFails(t *testing.T) {
 	}
 }
 
+// The livesmoke gate parses a LIVE-RESULT capture from the live-plane
+// kill/resume drill; the result-file seam keeps these pins process-free.
+
+const liveResult = "=== RUN   TestLiveKillResumeSmoke\nLIVE-RESULT channels=6 segments=678 lost=0 bitequal=ok resumes=1 presets=3\n--- PASS: TestLiveKillResumeSmoke\n"
+
+func TestLivesmokeHappyPath(t *testing.T) {
+	bench := writeTemp(t, "BENCH.md", "<!-- live-baseline: min_segments=600 -->\n")
+	res := writeTemp(t, "result.txt", liveResult)
+	got, err := runScript(t, "livesmoke.sh", bench, res)
+	if err != nil {
+		t.Fatalf("livesmoke failed on a passing capture: %v\n%s", err, got)
+	}
+	if !strings.Contains(got, "livesmoke: OK") {
+		t.Fatalf("OK verdict missing:\n%s", got)
+	}
+}
+
+func TestLivesmokeLossFails(t *testing.T) {
+	bench := writeTemp(t, "BENCH.md", "<!-- live-baseline: min_segments=600 -->\n")
+	res := writeTemp(t, "result.txt", "LIVE-RESULT channels=6 segments=678 lost=2 bitequal=ok resumes=1 presets=3\n")
+	got, err := runScript(t, "livesmoke.sh", bench, res)
+	if err == nil {
+		t.Fatalf("livesmoke passed with lost=2:\n%s", got)
+	}
+	if !strings.Contains(got, "accepted segments lost") {
+		t.Fatalf("loss diagnostic missing:\n%s", got)
+	}
+}
+
+func TestLivesmokeBitEqualFails(t *testing.T) {
+	bench := writeTemp(t, "BENCH.md", "<!-- live-baseline: min_segments=600 -->\n")
+	res := writeTemp(t, "result.txt", "LIVE-RESULT channels=6 segments=678 lost=0 bitequal=fail resumes=1 presets=3\n")
+	got, err := runScript(t, "livesmoke.sh", bench, res)
+	if err == nil {
+		t.Fatalf("livesmoke passed with bitequal=fail:\n%s", got)
+	}
+	if !strings.Contains(got, "diverged from batch replay") {
+		t.Fatalf("bit-equality diagnostic missing:\n%s", got)
+	}
+}
+
+func TestLivesmokeNoResumeFails(t *testing.T) {
+	bench := writeTemp(t, "BENCH.md", "<!-- live-baseline: min_segments=600 -->\n")
+	res := writeTemp(t, "result.txt", "LIVE-RESULT channels=6 segments=678 lost=0 bitequal=ok resumes=0 presets=3\n")
+	got, err := runScript(t, "livesmoke.sh", bench, res)
+	if err == nil {
+		t.Fatalf("livesmoke passed without a resume:\n%s", got)
+	}
+	if !strings.Contains(got, "no Last-Seq resume exercised") {
+		t.Fatalf("resume diagnostic missing:\n%s", got)
+	}
+}
+
+func TestLivesmokeSegmentsFloorFails(t *testing.T) {
+	bench := writeTemp(t, "BENCH.md", "<!-- live-baseline: min_segments=5000 -->\n")
+	res := writeTemp(t, "result.txt", liveResult)
+	got, err := runScript(t, "livesmoke.sh", bench, res)
+	if err == nil {
+		t.Fatalf("livesmoke passed below the segments floor:\n%s", got)
+	}
+	if !strings.Contains(got, "the drill proved too little") {
+		t.Fatalf("floor diagnostic missing:\n%s", got)
+	}
+}
+
+// TestLivesmokeMissingBaselineFails pins the preflight: without a
+// machine-readable §10 floor the gate must refuse to run, before
+// spending minutes on the multi-process drill.
+func TestLivesmokeMissingBaselineFails(t *testing.T) {
+	bench := writeTemp(t, "BENCH.md", "no marker here\n")
+	got, err := runScript(t, "livesmoke.sh", bench)
+	if err == nil {
+		t.Fatalf("livesmoke passed without a baseline marker:\n%s", got)
+	}
+	if !strings.Contains(got, "no live-baseline marker") {
+		t.Fatalf("missing-marker diagnostic missing:\n%s", got)
+	}
+}
+
 func TestWalsmokeMissingBaselineFails(t *testing.T) {
 	bench := writeTemp(t, "BENCH.md", "no marker here\n")
 	got, err := runScript(t, "walsmoke.sh", bench)
